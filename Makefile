@@ -1,0 +1,43 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-smoke figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-logged:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-logged:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Fast smoke pass of every figure and ablation at tiny scale.
+bench-smoke:
+	REPRO_SCALE=tiny $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Print every paper figure to stdout (and benchmarks/results/).
+figures:
+	$(PYTHON) -m repro figure table1
+	$(PYTHON) -m repro figure fig1
+	$(PYTHON) -m repro figure fig2
+	$(PYTHON) -m repro figure fig3
+	$(PYTHON) -m repro figure fig4
+	$(PYTHON) -m repro figure fig5
+	$(PYTHON) -m repro figure fig6
+	$(PYTHON) -m repro figure fig7
+	$(PYTHON) -m repro figure fig8
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,38 @@
+"""Figure 1: sensitivity to the percentage of memory oversubscription.
+
+Baseline (first-touch) policy at 125% and 150% oversubscription,
+normalized to the no-oversubscription run of each workload.
+
+Expected shape (paper, measured on a GTX 1080 Ti): regular applications
+degrade mildly (long-latency write-backs); irregular applications
+degrade by up to an order of magnitude (page thrashing).
+"""
+
+from repro.analysis import figure1
+from repro.workloads import IRREGULAR_WORKLOADS, REGULAR_WORKLOADS
+
+from conftest import run_once
+
+
+def test_figure1(benchmark, save_report, scale):
+    res = run_once(benchmark, lambda: figure1(scale=scale))
+    save_report("figure1", res.render())
+
+    for label in ("125% oversub", "150% oversub"):
+        series = res.measured[label]
+        # Oversubscription never helps the baseline.
+        for w, v in series.items():
+            assert v >= 0.95, (label, w, v)
+        # backprop is essentially immune (zero data reuse).
+        assert series["backprop"] < 1.4
+        # Regular apps degrade by small factors...
+        for w in REGULAR_WORKLOADS:
+            assert series[w] < 4.0, (label, w, series[w])
+        # ...while the worst irregular app blows up by an order of
+        # magnitude (ra in both the paper and this reproduction).
+        assert max(series[w] for w in IRREGULAR_WORKLOADS) > 8.0
+
+    # More oversubscription hurts at least as much.
+    for w in REGULAR_WORKLOADS + IRREGULAR_WORKLOADS:
+        assert res.measured["150% oversub"][w] >= \
+            0.9 * res.measured["125% oversub"][w], w

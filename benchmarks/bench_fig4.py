@@ -1,0 +1,29 @@
+"""Figure 4: sensitivity to the static access counter threshold.
+
+Always scheme at 125% oversubscription with ts in {8, 16, 32},
+normalized to ts = 8.  Expected shape: regular applications are flat
+(dense access always exceeds any reasonable threshold); irregular
+applications move by modest percentages in input-dependent directions.
+"""
+
+from repro.analysis import figure4
+from repro.workloads import REGULAR_WORKLOADS
+
+from conftest import run_once
+
+
+def test_figure4(benchmark, save_report, scale):
+    res = run_once(benchmark, lambda: figure4(scale=scale))
+    save_report("figure4", res.render())
+
+    for label in ("ts=16", "ts=32"):
+        series = res.measured[label]
+        # Regular applications show almost no sensitivity.
+        for w in REGULAR_WORKLOADS:
+            assert abs(series[w] - 1.0) < 0.12, (label, w, series[w])
+        # Irregular applications ARE sensitive (the paper reports -8%
+        # to +10%; this reproduction swings harder because its remote
+        # accesses are costed pessimistically -- see EXPERIMENTS.md) but
+        # never blow up.
+        for w, v in series.items():
+            assert 0.3 < v < 1.7, (label, w, v)

@@ -1,0 +1,42 @@
+"""Figure 7: pages thrashed at 125% oversubscription.
+
+Same runs as Figure 6; the metric is the number of thrash migrations
+(re-migration of previously evicted 64KB blocks), normalized to the
+Baseline policy.
+
+Expected shape: the Adaptive scheme's runtime win is explained by
+thrash reduction on the irregular suite; backprop never thrashes under
+any scheme; regular applications thrash the same as the baseline.
+"""
+
+from repro.analysis import figure6_7
+from repro.workloads import IRREGULAR_WORKLOADS
+
+from conftest import run_once
+
+
+def test_figure7(benchmark, save_report, scale):
+    fig6, fig7 = run_once(benchmark, lambda: figure6_7(scale=scale))
+    save_report("figure7", fig7.render())
+
+    adaptive = fig7.measured["adaptive"]
+
+    # backprop has no thrashing at all (pure streaming, zero reuse).
+    for label in ("always", "oversub", "adaptive"):
+        assert fig7.measured[label]["backprop"] == 0.0
+
+    # Regular apps thrash about the same as the baseline.
+    for w in ("fdtd", "srad"):
+        assert 0.7 <= adaptive[w] <= 1.1, (w, adaptive[w])
+
+    # Adaptive cuts thrashing on every irregular workload...
+    for w in IRREGULAR_WORKLOADS:
+        assert adaptive[w] < 0.95, (w, adaptive[w])
+    # ...dramatically for the pure-random one.
+    assert adaptive["ra"] < 0.3
+
+    # Thrash reduction explains the runtime win: ordering by thrash
+    # matches ordering by runtime for the adaptive scheme.
+    runtime = fig6.measured["adaptive"]
+    ranked_thrash = sorted(IRREGULAR_WORKLOADS, key=adaptive.get)
+    assert ranked_thrash[0] == min(IRREGULAR_WORKLOADS, key=runtime.get)

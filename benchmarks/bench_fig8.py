@@ -1,0 +1,41 @@
+"""Figure 8: sensitivity to the multiplicative migration penalty.
+
+Adaptive scheme at 125% oversubscription with p in {2, 4, 8, 2^20},
+normalized to Baseline.  Expected shape: regular applications are flat
+for moderate p; irregular applications improve monotonically with
+larger p; the extreme penalty (~zero-copy pinning) keeps helping the
+most thrash-bound workloads but backfires on dense sequential access.
+"""
+
+from repro.analysis import figure8
+from repro.workloads import REGULAR_WORKLOADS
+
+from conftest import run_once
+
+PENALTIES = (2, 4, 8, 1 << 20)
+
+
+def test_figure8(benchmark, save_report, scale):
+    res = run_once(benchmark, lambda: figure8(scale=scale,
+                                              penalties=PENALTIES))
+    save_report("figure8", res.render())
+
+    # Regular applications: no variation for moderate p (hotspot's
+    # small LFU-driven gain is penalty-independent).
+    for p in (2, 4, 8):
+        for w in REGULAR_WORKLOADS:
+            assert 0.8 <= res.measured[f"p={p}"][w] <= 1.1, (p, w)
+
+    # Irregular applications improve (weakly) monotonically with p.
+    for w in ("ra", "nw", "sssp", "bfs"):
+        p2, p4, p8 = (res.measured[f"p={p}"][w] for p in (2, 4, 8))
+        assert p8 <= p2 * 1.05, (w, p2, p8)
+        assert min(p2, p4, p8) == min(p2, p4, p8)  # sanity
+        assert p8 < 1.0, (w, p8)
+
+    # The extreme penalty hard-pins everything it can: still a big win
+    # for the pure-random workload...
+    extreme = res.measured[f"p={1 << 20}"]
+    assert extreme["ra"] < 0.3
+    # ...but regular applications now suffer (dense data belongs local).
+    assert max(extreme[w] for w in REGULAR_WORKLOADS) > 1.2

@@ -1,0 +1,126 @@
+"""Programmer hints vs. the programmer-agnostic runtime (Section III-C).
+
+The paper's motivation: zero-copy pinning and preferred-location advice
+*can* match or beat first-touch migration for irregular workloads, but
+only when the programmer already knows the access pattern -- and they
+backfire on dense data.  This benchmark plays the knowledgeable
+programmer (hard-pinning ra's update table to host memory, exactly what
+Section VI-C says ra wants) and checks that the adaptive runtime gets
+into the same league without any hints, while the same hint applied to
+a dense workload is a disaster.
+"""
+
+import numpy as np
+
+from repro.config import MigrationPolicy, SimulationConfig
+from repro.memory.advice import Advice
+from repro.sim.simulator import Simulator
+from repro.workloads import make_workload
+from repro.workloads.base import Category, KernelLaunch, Wave, Workload, chunked
+from repro.workloads.ra import PRESETS as RA_PRESETS, RandomAccess
+from repro.memory.layout import MB
+from repro.analysis.tables import format_table
+from repro.workloads.util import SECTORS_PER_PAGE
+
+from conftest import run_once
+
+
+class PinnedRandomAccess(RandomAccess):
+    """ra with its table hard-pinned to host memory (zero-copy)."""
+
+    name = "ra-pinned"
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.table = self._register(vas.malloc_managed(
+            "ra.table", p.table_bytes, advice=Advice.PINNED_HOST))
+        self._rng = np.random.default_rng(rng.integers(0, 2**63))
+
+
+class PinnedStream(Workload):
+    """A dense sweep hard-pinned to host memory -- the anti-pattern."""
+
+    name = "stream-pinned"
+    category = Category.REGULAR
+
+    def __init__(self, size_mb: int = 24, iterations: int = 3,
+                 pinned: bool = True) -> None:
+        super().__init__()
+        self.size_mb = size_mb
+        self.iterations = iterations
+        self.pinned = pinned
+
+    def _allocate(self, vas, rng) -> None:
+        advice = Advice.PINNED_HOST if self.pinned else Advice.NONE
+        self.data = self._register(vas.malloc_managed(
+            "stream.data", self.size_mb * MB, advice=advice))
+
+    def _sweep(self):
+        for chunk in chunked(self.data.page_range(), 512):
+            yield Wave.writes(chunk, SECTORS_PER_PAGE)
+
+    def kernels(self):
+        for it in range(self.iterations):
+            yield KernelLaunch("stream.sweep", it, self._sweep)
+
+
+def test_hints_vs_adaptive(benchmark, save_report, scale):
+    def run():
+        params = RA_PRESETS[scale]
+        cfg_base = SimulationConfig(seed=2).with_policy(
+            MigrationPolicy.DISABLED)
+        cfg_adap = SimulationConfig(seed=2).with_policy(
+            MigrationPolicy.ADAPTIVE)
+        baseline = Simulator(cfg_base).run(RandomAccess(params),
+                                           oversubscription=1.25)
+        hinted = Simulator(cfg_base).run(PinnedRandomAccess(params),
+                                         oversubscription=1.25)
+        adaptive = Simulator(cfg_adap).run(RandomAccess(params),
+                                           oversubscription=1.25)
+        return baseline, hinted, adaptive
+    baseline, hinted, adaptive = run_once(benchmark, run)
+    rows = [
+        ["first-touch (no hints)", f"{baseline.total_cycles:,.0f}", "1.00",
+         baseline.pages_thrashed],
+        ["programmer zero-copy pin",
+         f"{hinted.total_cycles:,.0f}",
+         f"{hinted.total_cycles / baseline.total_cycles:.3f}",
+         hinted.pages_thrashed],
+        ["adaptive (no hints)", f"{adaptive.total_cycles:,.0f}",
+         f"{adaptive.total_cycles / baseline.total_cycles:.3f}",
+         adaptive.pages_thrashed],
+    ]
+    save_report("hints_vs_adaptive", format_table(
+        ["configuration", "cycles", "vs baseline", "thrash"],
+        rows, title="ra at 125% oversub: expert hints vs the "
+                    "programmer-agnostic runtime"))
+
+    # The expert hint eliminates thrashing entirely.
+    assert hinted.pages_thrashed == 0
+    assert hinted.total_cycles < 0.7 * baseline.total_cycles
+    # The adaptive runtime reaches the same league without any hints:
+    # within 2.5x of the hand-tuned pin, and far ahead of the baseline.
+    assert adaptive.total_cycles < 0.5 * baseline.total_cycles
+    assert adaptive.total_cycles < 2.5 * hinted.total_cycles
+
+
+def test_hints_backfire_on_dense_data(benchmark, save_report, scale):
+    def run():
+        cfg = SimulationConfig(seed=2).with_policy(MigrationPolicy.DISABLED)
+        pinned = Simulator(cfg).run(PinnedStream(pinned=True),
+                                    oversubscription=0.8)
+        managed = Simulator(cfg).run(PinnedStream(pinned=False),
+                                     oversubscription=0.8)
+        return pinned, managed
+    pinned, managed = run_once(benchmark, run)
+    save_report("hints_backfire", format_table(
+        ["configuration", "cycles", "remote accesses"],
+        [["zero-copy pinned sweep", f"{pinned.total_cycles:,.0f}",
+          pinned.events.n_remote],
+         ["managed (first touch)", f"{managed.total_cycles:,.0f}",
+          managed.events.n_remote]],
+        title="Dense sweep with plenty of device memory: pinning is "
+              "the anti-pattern (Section III-C)"))
+    # Zero-copy for dense sequential access forfeits local bandwidth.
+    assert pinned.total_cycles > 2 * managed.total_cycles
+    assert managed.events.n_remote == 0

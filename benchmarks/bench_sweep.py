@@ -1,0 +1,48 @@
+"""Oversubscription sweep: where the adaptive advantage appears.
+
+An extension beyond the paper's fixed 125% operating point: sweep the
+memory budget from fits-with-headroom to 150% oversubscription and
+locate the crossover at which the adaptive scheme's dynamic threshold
+starts paying off.  Expected shape: below capacity both schemes match
+(the no-harm property of Figure 5); past capacity the baseline degrades
+monotonically while the adaptive curve stays flat-ish, so the relative
+advantage widens with pressure.
+"""
+
+from repro.analysis import oversubscription_sweep
+from repro.config import MigrationPolicy
+
+from conftest import run_once
+
+LEVELS = (0.8, 1.0, 1.25, 1.5)
+
+
+def test_oversubscription_sweep_ra(benchmark, save_report, scale):
+    res = run_once(benchmark, lambda: oversubscription_sweep(
+        "ra", levels=LEVELS, scale=scale,
+        policies=(MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE)))
+    save_report("sweep_ra", res.render())
+
+    baseline = res.normalized("disabled")
+    advantage = res.advantage()
+
+    # Baseline degrades monotonically with pressure.
+    assert all(b2 >= b1 * 0.95 for b1, b2 in zip(baseline, baseline[1:]))
+    # No harm while the working set fits.
+    assert 0.8 <= advantage[0] <= 1.2
+    assert 0.8 <= advantage[1] <= 1.2
+    # A clear win appears once oversubscribed, and widens.
+    crossover = res.crossover(threshold=0.9)
+    assert crossover is not None and crossover <= 1.25
+    assert advantage[-1] <= advantage[2] * 1.1
+
+
+def test_oversubscription_sweep_regular_control(benchmark, save_report,
+                                                scale):
+    res = run_once(benchmark, lambda: oversubscription_sweep(
+        "fdtd", levels=LEVELS, scale=scale,
+        policies=(MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE)))
+    save_report("sweep_fdtd", res.render())
+    # The regular control never deviates much from baseline at any level.
+    for ratio in res.advantage():
+        assert 0.8 <= ratio <= 1.15, res.advantage()

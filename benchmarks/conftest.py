@@ -1,0 +1,48 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` module regenerates one table or figure of the paper,
+prints a paper-vs-measured comparison, saves it under
+``benchmarks/results/``, and asserts the figure's qualitative *shape*
+(who wins, roughly by how much) -- absolute cycle counts are
+testbed-specific and not asserted.
+
+Environment:
+
+* ``REPRO_SCALE`` -- workload scale preset (default ``small``; use
+  ``tiny`` for a fast smoke pass, ``medium`` for bigger runs).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Workload scale for all figure benchmarks."""
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture
+def save_report():
+    """Persist a rendered figure report and echo it to stdout."""
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run a figure generator exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

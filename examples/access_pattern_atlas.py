@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Access-pattern atlas: the workload characterization of Section III-B.
+
+Regenerates the analysis behind Figures 2 and 3 for *all eight*
+workloads: per-allocation access densities (hot/cold, read-only vs
+read-write) and a coarse page-vs-time sketch per kernel, rendered as
+ASCII.  Useful to see at a glance why each workload lands in the
+regular or irregular bucket.
+
+Run::
+
+    python examples/access_pattern_atlas.py [--workload NAME]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import MigrationPolicy, SimulationConfig, Simulator
+from repro.analysis.tables import format_table
+from repro.workloads import ALL_WORKLOADS, make_workload, workload_category
+
+
+def atlas(name: str, scale: str = "tiny") -> None:
+    cfg = SimulationConfig(seed=0, collect_page_histogram=True,
+                           collect_access_trace=True)
+    cfg = cfg.with_policy(MigrationPolicy.DISABLED)
+    r = Simulator(cfg).run(make_workload(name, scale), oversubscription=0.8)
+
+    cat = workload_category(name).value
+    print(f"\n==== {name} ({cat}) ====")
+    rows = [[s["name"], s["pages"], s["reads"], s["writes"],
+             round(s["accesses_per_page"], 1),
+             "RO" if s["read_only"] else "RW"]
+            for s in r.stats.allocation_summary()]
+    print(format_table(
+        ["allocation", "pages", "reads", "writes", "acc/page", "type"],
+        rows))
+
+    # Page-vs-time sketch: bucket the trace into a character raster.
+    trace = r.stats.trace
+    if not trace:
+        return
+    width, height = 64, 12
+    t_max = max(rec.cycle for rec in trace) + 1.0
+    p_max = max(int(rec.pages.max()) for rec in trace if rec.pages.size) + 1
+    raster = [[" "] * width for _ in range(height)]
+    for rec in trace:
+        col = min(int(width * rec.cycle / t_max), width - 1)
+        for page, w in zip(rec.pages, rec.is_write):
+            row = min(int(height * page / p_max), height - 1)
+            mark = "W" if w else "r"
+            if raster[row][col] == " " or mark == "W":
+                raster[row][col] = mark
+    print("page-vs-time sketch (r = read, W = write; low pages at top):")
+    for line in raster:
+        print("  |" + "".join(line) + "|")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", choices=ALL_WORKLOADS, default=None)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium"))
+    args = parser.parse_args()
+    names = (args.workload,) if args.workload else ALL_WORKLOADS
+    for name in names:
+        atlas(name, args.scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Multi-GPU scaling and memory throttling (the paper's future work).
+
+Two experiments on the RandomAccess workload:
+
+1. **Scale-out** (Section VI quotes NVIDIA's guidance): a working set
+   that oversubscribes one GPU by 125% is partitioned across 1/2/4
+   devices -- two devices already absorb the oversubscription and
+   eliminate thrashing.
+2. **Throttling** (Section VIII's proposal): each device may only use a
+   fraction of its memory (a co-tenant owns the rest).  The adaptive
+   threshold turns the cap into host-pinning of the coldest partition
+   instead of a thrash storm.
+
+Run::
+
+    python examples/multi_gpu_throttling.py [--scale tiny|small]
+"""
+
+import argparse
+
+from repro import MigrationPolicy, SimulationConfig
+from repro.analysis.tables import format_table
+from repro.multigpu import MultiGpuSimulator
+from repro.workloads import make_workload
+
+
+def scale_out(scale: str) -> None:
+    cfg = SimulationConfig(seed=1).with_policy(MigrationPolicy.DISABLED)
+    rows = []
+    base = None
+    for n in (1, 2, 4):
+        res = MultiGpuSimulator(cfg, num_gpus=n).run(
+            make_workload("ra", scale), oversubscription=1.25)
+        if base is None:
+            base = res.makespan_cycles
+        rows.append([n, f"{res.makespan_cycles:,.0f}",
+                     f"{base / res.makespan_cycles:.2f}x",
+                     res.total_thrash, f"{res.load_imbalance:.2f}"])
+    print(format_table(
+        ["GPUs", "makespan (cycles)", "speedup", "thrash", "imbalance"],
+        rows, title="\n== scale-out: ra at 125% single-GPU "
+                    "oversubscription (baseline policy) =="))
+    print("Two devices fit the working set: the order-of-magnitude "
+          "thrashing cost vanishes,\nso speedup is superlinear.")
+
+
+def throttling(scale: str) -> None:
+    rows = []
+    for policy in (MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE):
+        for throttle in (1.0, 0.5, 0.35):
+            cfg = SimulationConfig(seed=1).with_policy(policy)
+            res = MultiGpuSimulator(cfg, num_gpus=2,
+                                    throttle=throttle).run(
+                make_workload("ra", scale), oversubscription=1.0)
+            rows.append([policy.value, f"{throttle:.0%}",
+                         f"{res.makespan_cycles:,.0f}",
+                         res.total_thrash])
+    print(format_table(
+        ["policy", "usable memory", "makespan (cycles)", "thrash"],
+        rows, title="\n== throttling: 2 GPUs, collaborative ra, "
+                    "capped device memory =="))
+    print("Under a tight cap the first-touch baseline thrashes; the "
+          "adaptive threshold\nenforces the cap by hardening host pins "
+          "instead -- the throttling mechanism\nSection VIII proposes.")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium"))
+    args = parser.parse_args()
+    scale_out(args.scale)
+    throttling(args.scale)
+
+
+if __name__ == "__main__":
+    main()

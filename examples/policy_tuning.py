@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Tuning the framework's two knobs: ts and the migration penalty p.
+
+The paper exposes two driver module parameters: the static access
+counter threshold ``ts`` (seed of Equation 1) and the multiplicative
+migration penalty ``p``.  This example sweeps both for one regular and
+one irregular workload, reproducing the guidance of Sections VI-A and
+VI-D: keep ``ts`` justifiably small, scale ``p`` to control pin
+hardness, and don't set ``p`` absurdly high unless the workload is
+zero-reuse random access.
+
+Run::
+
+    python examples/policy_tuning.py [--scale tiny|small]
+"""
+
+import argparse
+
+from repro import MigrationPolicy, SimulationConfig, Simulator
+from repro.analysis.tables import format_table
+from repro.workloads import make_workload
+
+
+def run(name, scale, policy=MigrationPolicy.ADAPTIVE, ts=8, p=8):
+    cfg = SimulationConfig(seed=5).with_policy(
+        policy, static_threshold=ts, migration_penalty=p)
+    return Simulator(cfg).run(make_workload(name, scale),
+                              oversubscription=1.25)
+
+
+def sweep_ts(name: str, scale: str) -> None:
+    base = run(name, scale, policy=MigrationPolicy.ALWAYS, ts=8)
+    rows = []
+    for ts in (8, 16, 32):
+        r = run(name, scale, policy=MigrationPolicy.ALWAYS, ts=ts)
+        rows.append([f"ts={ts}", f"{r.runtime_seconds * 1e3:.2f}",
+                     f"{r.normalized_runtime(base) * 100:.1f}%",
+                     r.events.n_remote])
+    print(format_table(
+        ["threshold", "runtime (ms)", "vs ts=8", "remote accesses"],
+        rows, title=f"\n== {name}: static threshold sweep "
+                    "(Always scheme, 125% oversub) =="))
+
+
+def sweep_penalty(name: str, scale: str) -> None:
+    base = run(name, scale, policy=MigrationPolicy.DISABLED)
+    rows = []
+    for p in (2, 4, 8, 16, 1 << 20):
+        r = run(name, scale, p=p)
+        rows.append([f"p={p}", f"{r.runtime_seconds * 1e3:.2f}",
+                     f"{r.normalized_runtime(base) * 100:.1f}%",
+                     r.events.thrash_migrations])
+    print(format_table(
+        ["penalty", "runtime (ms)", "vs baseline", "thrash migrations"],
+        rows, title=f"\n== {name}: migration penalty sweep "
+                    "(Adaptive scheme, 125% oversub) =="))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium"))
+    args = parser.parse_args()
+    for name in ("srad", "ra"):
+        sweep_ts(name, args.scale)
+        sweep_penalty(name, args.scale)
+    print("\nGuidance (Sections VI-A, VI-D): regular workloads are flat in "
+          "both knobs;\nirregular workloads gain monotonically with p until "
+          "the extreme regime,\nwhere dense workloads start paying for "
+          "host-pinned data they should own locally.")
+
+
+if __name__ == "__main__":
+    main()

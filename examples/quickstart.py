@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under two migration policies.
+
+Runs the paper's headline scenario in miniature: the RandomAccess
+(GUPS) benchmark at 125% device-memory oversubscription, first under
+the state-of-the-art baseline (first-touch migration, 2MB LRU), then
+under the paper's adaptive dynamic-threshold scheme -- and shows where
+the speedup comes from (thrash elimination).
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import MigrationPolicy, SimulationConfig, Simulator
+from repro.analysis.tables import format_table
+from repro.workloads import make_workload
+
+
+def simulate(policy: MigrationPolicy):
+    """One simulation: ra at 125% oversubscription under ``policy``."""
+    config = SimulationConfig(seed=42).with_policy(policy)
+    workload = make_workload("ra", scale="small")
+    return Simulator(config).run(workload, oversubscription=1.25)
+
+
+def main() -> None:
+    baseline = simulate(MigrationPolicy.DISABLED)
+    adaptive = simulate(MigrationPolicy.ADAPTIVE)
+
+    rows = []
+    for label, r in (("baseline (first-touch)", baseline),
+                     ("adaptive (Equation 1)", adaptive)):
+        ev = r.events
+        rows.append([
+            label,
+            f"{r.runtime_seconds * 1e3:.2f}",
+            ev.fault_events,
+            ev.migrated_blocks + ev.prefetched_blocks,
+            ev.n_remote,
+            ev.thrash_migrations,
+        ])
+    print(format_table(
+        ["policy", "runtime (ms)", "far-faults", "blocks migrated",
+         "remote accesses", "thrash migrations"],
+        rows, title="ra (GUPS) at 125% memory oversubscription"))
+
+    speedup = adaptive.speedup_over(baseline)
+    print(f"\nAdaptive speedup over baseline: {speedup:.1f}x "
+          f"({(1 - 1 / speedup) * 100:.0f}% runtime reduction)")
+    print("The win comes from serving cold, thrash-prone 64KB blocks "
+          "remotely (zero-copy)\ninstead of migrating them back and "
+          "forth over PCIe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Regular stencil workloads: why the framework must do no harm.
+
+Dense, sequential applications (here: fdtd-2d and hotspot) are the
+workloads that delayed migration can *hurt* -- every byte they touch is
+worth migrating, so any detour through remote zero-copy access is pure
+overhead.  This example shows the paper's no-harm property: the adaptive
+scheme tracks first-touch migration for stencils both when the grids fit
+and when they oversubscribe, and its write-back traffic explains the
+residual oversubscription cost.
+
+Run::
+
+    python examples/stencil_oversubscription.py [--scale tiny|small]
+"""
+
+import argparse
+
+from repro import MigrationPolicy, SimulationConfig, Simulator
+from repro.analysis.tables import format_table
+from repro.workloads import make_workload
+
+
+def run(name: str, policy: MigrationPolicy, oversub: float, scale: str):
+    cfg = SimulationConfig(seed=3).with_policy(policy)
+    return Simulator(cfg).run(make_workload(name, scale),
+                              oversubscription=oversub)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium"))
+    args = parser.parse_args()
+
+    for name in ("fdtd", "hotspot"):
+        rows = []
+        for ov, ov_label in ((0.8, "fits (80%)"), (1.25, "125% oversub")):
+            base = run(name, MigrationPolicy.DISABLED, ov, args.scale)
+            adap = run(name, MigrationPolicy.ADAPTIVE, ov, args.scale)
+            rows.append([
+                ov_label,
+                f"{base.runtime_seconds * 1e3:.2f}",
+                f"{adap.runtime_seconds * 1e3:.2f}",
+                f"{adap.normalized_runtime(base) * 100:.1f}%",
+                adap.events.writeback_blocks,
+                adap.events.n_remote,
+            ])
+        print(format_table(
+            ["memory budget", "baseline (ms)", "adaptive (ms)",
+             "adaptive/baseline", "writeback blocks", "remote accesses"],
+            rows, title=f"\n== {name}: the no-harm property =="))
+        print("Dense sweeps cross any access-counter threshold within a "
+              "single wave,\nso the adaptive scheme degenerates to "
+              "first-touch migration -- by design.")
+
+
+if __name__ == "__main__":
+    main()

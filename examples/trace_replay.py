@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Trace-driven workflows: record once, re-simulate under many configs.
+
+The simulator is trace-driven: a workload's access stream is independent
+of the memory-system configuration.  Recording it once and replaying it
+makes policy sweeps cheap and exactly reproducible, and the ``.npz``
+trace format is a documented interchange point for external traces.
+
+This example records the sssp benchmark, then replays the identical
+stream under every migration policy and two eviction granularities.
+
+Run::
+
+    python examples/trace_replay.py [--scale tiny|small]
+"""
+
+import argparse
+import tempfile
+import pathlib
+
+from repro import (
+    EvictionGranularity,
+    MigrationPolicy,
+    SimulationConfig,
+    Simulator,
+)
+from repro.analysis.tables import format_table
+from repro.trace import TraceWorkload, load_trace, record_trace, save_trace
+from repro.workloads import make_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "medium"))
+    args = parser.parse_args()
+
+    print("recording sssp access trace ...")
+    data = record_trace(make_workload("sssp", args.scale), seed=0)
+    print(f"  {data.num_launches} kernel launches, {data.num_waves} waves, "
+          f"{data.num_accesses:,} coalesced accesses")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_trace(data, pathlib.Path(tmp) / "sssp.npz")
+        size_kb = path.stat().st_size / 1024
+        print(f"  saved to {path.name} ({size_kb:.0f} KiB)\n")
+        trace = load_trace(path)
+
+        rows = []
+        base_cycles = None
+        for policy in MigrationPolicy:
+            for gran in (EvictionGranularity.CHUNK_2MB,
+                         EvictionGranularity.BLOCK_64KB):
+                cfg = SimulationConfig(seed=0).with_policy(policy)
+                cfg = cfg.with_eviction_granularity(gran)
+                r = Simulator(cfg).run(TraceWorkload(trace),
+                                       oversubscription=1.25)
+                if base_cycles is None:
+                    base_cycles = r.total_cycles
+                rows.append([
+                    policy.value,
+                    "64KB" if gran is EvictionGranularity.BLOCK_64KB
+                    else "2MB",
+                    f"{r.runtime_seconds * 1e3:.2f}",
+                    f"{r.total_cycles / base_cycles * 100:.1f}%",
+                    r.events.thrash_migrations,
+                ])
+        print(format_table(
+            ["policy", "evict", "runtime (ms)", "vs first row", "thrash"],
+            rows, title="sssp trace replayed at 125% oversubscription"))
+        print("\nEvery replay consumed the byte-identical access stream -- "
+              "differences are\npurely memory-system policy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable installs (no ``wheel`` package required).
+"""
+
+from setuptools import setup
+
+setup()

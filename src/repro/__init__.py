@@ -1,0 +1,60 @@
+"""repro -- Adaptive page migration for GPU memory oversubscription.
+
+A trace-driven reproduction of *"Adaptive Page Migration for Irregular
+Data-intensive Applications under GPU Memory Oversubscription"*
+(Ganguly, Zhang, Yang, Melhem -- IPDPS 2020).
+
+The package provides a Unified-Memory (UVM) simulator for discrete
+CPU-GPU systems -- far-fault driven migration, the CUDA tree-based
+prefetcher, 2MB LRU replacement, remote zero-copy access, and hardware
+access counters -- plus the paper's contribution: a dynamic
+access-counter threshold (Equation 1) that adaptively navigates between
+first-touch migration and host-pinned remote access, with an
+access-counter-based LFU replacement policy.
+
+Quickstart::
+
+    from repro import Simulator, SimulationConfig, MigrationPolicy
+    from repro.workloads import make_workload
+
+    cfg = SimulationConfig().with_policy(MigrationPolicy.ADAPTIVE)
+    result = Simulator(cfg).run(make_workload("sssp", scale="small"),
+                                oversubscription=1.25)
+    print(result.summary())
+"""
+
+from .config import (
+    EvictionGranularity,
+    GpuConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    MigrationPolicy,
+    PolicyConfig,
+    PrefetcherKind,
+    ReplacementPolicy,
+    SimulationConfig,
+    TimingConfig,
+    capacity_for_oversubscription,
+)
+from .memory.advice import Advice
+from .sim import RunResult, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Advice",
+    "EvictionGranularity",
+    "GpuConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "MigrationPolicy",
+    "PolicyConfig",
+    "PrefetcherKind",
+    "ReplacementPolicy",
+    "RunResult",
+    "SimulationConfig",
+    "Simulator",
+    "TimingConfig",
+    "capacity_for_oversubscription",
+    "__version__",
+]

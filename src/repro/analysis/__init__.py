@@ -1,0 +1,45 @@
+"""Experiment runners and reporting for the paper's tables and figures."""
+
+from . import paper_data
+from .experiments import (
+    NO_OVERSUB,
+    OVERSUB_125,
+    SeriesResult,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6_7,
+    figure8,
+    render_figure2,
+    render_figure3,
+    run_single,
+    table1,
+)
+from .sweeps import DEFAULT_LEVELS, SweepResult, oversubscription_sweep
+from .tables import ascii_bar_chart, comparison_table, format_table
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "NO_OVERSUB",
+    "OVERSUB_125",
+    "SeriesResult",
+    "SweepResult",
+    "ascii_bar_chart",
+    "comparison_table",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6_7",
+    "figure8",
+    "format_table",
+    "paper_data",
+    "render_figure2",
+    "render_figure3",
+    "oversubscription_sweep",
+    "run_single",
+    "table1",
+]

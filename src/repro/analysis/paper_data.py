@@ -1,0 +1,112 @@
+"""The paper's published data points, for side-by-side comparison.
+
+Values are transcribed from the bar labels of Figures 1 and 4--8 of
+Ganguly et al., IPDPS 2020.  Runtime figures are normalized runtimes
+(fraction of the respective baseline); Figure 7 is normalized thrash
+counts.  The workload order everywhere is the paper's: the regular suite
+(backprop, fdtd, hotspot, srad) then the irregular suite (bfs, nw, ra,
+sssp).
+"""
+
+from __future__ import annotations
+
+WORKLOAD_ORDER: tuple[str, ...] = (
+    "backprop", "fdtd", "hotspot", "srad", "bfs", "nw", "ra", "sssp")
+
+#: Figure 1 -- runtime under oversubscription, Baseline policy,
+#: normalized to the no-oversubscription run of the same workload.
+FIGURE1: dict[str, dict[float, float]] = {
+    "backprop": {1.25: 1.02, 1.50: 1.32},
+    "fdtd":     {1.25: 1.67, 1.50: 1.89},
+    "hotspot":  {1.25: 1.46, 1.50: 1.55},
+    "srad":     {1.25: 2.00, 1.50: 2.11},
+    "bfs":      {1.25: 4.46, 1.50: 15.36},
+    "nw":       {1.25: 1.59, 1.50: 9.84},
+    "ra":       {1.25: 15.22, 1.50: 20.83},
+    "sssp":     {1.25: 1.11, 1.50: 1.48},
+}
+
+#: Figure 4 -- sensitivity to the static threshold ts (Always scheme,
+#: 125% oversubscription), normalized to ts=8.
+FIGURE4: dict[str, dict[int, float]] = {
+    "backprop": {16: 0.9973, 32: 1.0200},
+    "fdtd":     {16: 1.0313, 32: 1.0349},
+    "hotspot":  {16: 1.0020, 32: 1.0064},
+    "srad":     {16: 1.0046, 32: 1.0105},
+    "bfs":      {16: 0.9230, 32: 0.9570},
+    "nw":       {16: 1.0042, 32: 1.0225},
+    "ra":       {16: 0.9294, 32: 0.9855},
+    "sssp":     {16: 1.1002, 32: 1.0692},
+}
+
+#: Figure 5 -- no oversubscription, normalized to Baseline.  The paper
+#: labels the Always bars; Adaptive tracks the baseline within noise.
+FIGURE5_ALWAYS: dict[str, float] = {
+    "backprop": 0.9895, "fdtd": 0.9913, "hotspot": 1.0008, "srad": 1.0001,
+    "bfs": 0.9429, "nw": 1.0172, "ra": 0.7687, "sssp": 1.1099,
+}
+
+#: Figure 6 -- 125% oversubscription, runtime normalized to Baseline.
+FIGURE6: dict[str, dict[str, float]] = {
+    "always": {
+        "backprop": 0.9962, "fdtd": 1.0068, "hotspot": 0.9204,
+        "srad": 1.0004, "bfs": 0.8015, "nw": 1.0050, "ra": 0.2437,
+        "sssp": 0.7462,
+    },
+    "oversub": {
+        "backprop": 1.0002, "fdtd": 1.0052, "hotspot": 0.9946,
+        "srad": 1.0000, "bfs": 0.9064, "nw": 0.9868, "ra": 1.0000,
+        "sssp": 0.7612,
+    },
+    "adaptive": {
+        "backprop": 1.0050, "fdtd": 1.0077, "hotspot": 1.0022,
+        "srad": 1.0001, "bfs": 0.7821, "nw": 0.6718, "ra": 0.2177,
+        "sssp": 0.4021,
+    },
+}
+
+#: Figure 7 -- 125% oversubscription, pages thrashed normalized to
+#: Baseline (backprop thrashes nothing under any scheme).
+FIGURE7: dict[str, dict[str, float]] = {
+    "always": {
+        "backprop": 0.0, "fdtd": 1.0000, "hotspot": 0.9333, "srad": 1.0000,
+        "bfs": 0.6917, "nw": 0.9753, "ra": 0.1667, "sssp": 0.6429,
+    },
+    "oversub": {
+        "backprop": 0.0, "fdtd": 1.0000, "hotspot": 1.0167, "srad": 1.0000,
+        "bfs": 0.8150, "nw": 0.9753, "ra": 1.0000, "sssp": 0.6786,
+    },
+    "adaptive": {
+        "backprop": 0.0, "fdtd": 0.9991, "hotspot": 1.0000, "srad": 1.0000,
+        "bfs": 0.6301, "nw": 0.7132, "ra": 0.1014, "sssp": 0.2143,
+    },
+}
+
+#: Figure 8 -- sensitivity to the multiplicative penalty p (Adaptive,
+#: 125% oversubscription), normalized to Baseline.
+FIGURE8: dict[int, dict[str, float]] = {
+    2: {
+        "backprop": 1.0008, "fdtd": 1.0027, "hotspot": 0.9998,
+        "srad": 1.0001, "bfs": 0.8360, "nw": 0.9229, "ra": 0.2903,
+        "sssp": 0.6446,
+    },
+    4: {
+        "backprop": 1.0022, "fdtd": 0.9994, "hotspot": 1.0237,
+        "srad": 1.0001, "bfs": 0.7872, "nw": 0.8419, "ra": 0.1951,
+        "sssp": 0.5135,
+    },
+    8: {
+        "backprop": 1.0050, "fdtd": 1.0077, "hotspot": 1.0022,
+        "srad": 1.0001, "bfs": 0.7821, "nw": 0.6718, "ra": 0.2177,
+        "sssp": 0.4021,
+    },
+    1048576: {
+        "backprop": 1.7407, "fdtd": 0.9073, "hotspot": 1.3965,
+        "srad": 2.3838, "bfs": 1.0020, "nw": 0.0604, "ra": 0.1355,
+        "sssp": 0.2855,
+    },
+}
+
+#: Headline claim (abstract / Section VI-C): Adaptive improves irregular
+#: applications by 22% to 78% at 125% oversubscription.
+HEADLINE_IMPROVEMENT_RANGE: tuple[float, float] = (0.22, 0.78)

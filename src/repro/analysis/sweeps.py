@@ -1,0 +1,86 @@
+"""Parameter sweeps beyond the paper's fixed 125% operating point.
+
+The paper evaluates at 125% oversubscription because contemporary GPUs
+could not handle more (Section VI).  These utilities map the whole
+curve: where the baseline starts degrading, and where the adaptive
+scheme's advantage appears -- the crossover a practitioner cares about
+when sizing working sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MigrationPolicy
+from ..sim.results import RunResult
+from .experiments import run_single
+from .tables import format_table
+
+#: Default oversubscription grid: fits-with-headroom up to 150%.
+DEFAULT_LEVELS: tuple[float, ...] = (0.8, 1.0, 1.1, 1.25, 1.4, 1.5)
+
+
+@dataclass
+class SweepResult:
+    """Runtime of several policies across oversubscription levels."""
+
+    workload: str
+    levels: tuple[float, ...]
+    #: ``{policy value: [RunResult per level]}``
+    runs: dict[str, list[RunResult]]
+
+    def normalized(self, policy: str) -> list[float]:
+        """Cycles of ``policy`` relative to its own fits-in-memory run."""
+        series = self.runs[policy]
+        base = series[0].total_cycles
+        return [r.total_cycles / base for r in series]
+
+    def advantage(self, policy: str = "adaptive",
+                  baseline: str = "disabled") -> list[float]:
+        """Per-level runtime of ``policy`` relative to ``baseline``."""
+        return [p.total_cycles / b.total_cycles
+                for p, b in zip(self.runs[policy], self.runs[baseline])]
+
+    def crossover(self, threshold: float = 0.9, policy: str = "adaptive",
+                  baseline: str = "disabled") -> float | None:
+        """First oversubscription level where ``policy`` is a real win.
+
+        Returns the smallest level whose normalized runtime against the
+        baseline drops below ``threshold``, or None if it never does.
+        """
+        for level, ratio in zip(self.levels, self.advantage(policy,
+                                                            baseline)):
+            if ratio < threshold:
+                return level
+        return None
+
+    def render(self) -> str:
+        """Comparison table across levels."""
+        headers = ["policy"] + [f"{int(l * 100)}%" for l in self.levels]
+        rows = []
+        for pol, series in self.runs.items():
+            base = self.runs["disabled"]
+            rows.append([pol] + [f"{r.total_cycles / b.total_cycles:.3f}"
+                                 for r, b in zip(series, base)])
+        return format_table(
+            headers, rows,
+            title=f"== {self.workload}: runtime vs Baseline across "
+                  "oversubscription levels ==")
+
+
+def oversubscription_sweep(workload: str,
+                           policies=(MigrationPolicy.DISABLED,
+                                     MigrationPolicy.ADAPTIVE),
+                           levels: tuple[float, ...] = DEFAULT_LEVELS,
+                           scale: str = "small", ts: int = 8, p: int = 8,
+                           seed: int = 0) -> SweepResult:
+    """Run ``workload`` under each policy at each oversubscription level."""
+    if not levels:
+        raise ValueError("need at least one oversubscription level")
+    runs: dict[str, list[RunResult]] = {}
+    for pol in policies:
+        runs[pol.value] = [
+            run_single(workload, pol, level, scale, ts=ts, p=p, seed=seed)
+            for level in levels
+        ]
+    return SweepResult(workload=workload, levels=tuple(levels), runs=runs)

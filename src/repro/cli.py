@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Simulate one workload under one configuration and print the result
+    summary (optionally with per-allocation access histograms).
+``compare``
+    Run all four migration policies on one workload at one
+    oversubscription level and print normalized runtimes.
+``figure``
+    Regenerate one of the paper's tables/figures and print the
+    paper-vs-measured comparison.
+``trace``
+    Record a workload's access trace to a file, or replay a trace file
+    under a chosen configuration.
+``list``
+    Show available workloads, scales, policies and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import analysis
+from .config import (
+    EvictionGranularity,
+    MigrationPolicy,
+    PrefetcherKind,
+    SimulationConfig,
+)
+from .analysis.tables import format_table
+from .sim.simulator import Simulator
+from .workloads import SCALES, make_workload, workload_names
+
+
+def _build_config(args) -> SimulationConfig:
+    cfg = SimulationConfig(
+        seed=args.seed,
+        collect_page_histogram=getattr(args, "histogram", False),
+    )
+    cfg = cfg.with_policy(MigrationPolicy(args.policy),
+                          static_threshold=args.ts,
+                          migration_penalty=args.penalty)
+    if getattr(args, "evict", "2mb") == "64kb":
+        cfg = cfg.with_eviction_granularity(EvictionGranularity.BLOCK_64KB)
+    if getattr(args, "prefetcher", "tree") != "tree":
+        cfg = cfg.with_prefetcher(PrefetcherKind(args.prefetcher),
+                                  degree=args.prefetch_degree)
+    return cfg
+
+
+def _print_summary(result) -> None:
+    rows = [[k, v if not isinstance(v, float) else round(v, 3)]
+            for k, v in result.summary().items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"== {result.workload} =="))
+    t = result.timing
+    rows = [[comp, f"{getattr(t, comp):,.0f}",
+             f"{100 * getattr(t, comp) / max(t.total, 1e-9):.1f}%"]
+            for comp in ("compute", "local", "remote", "fault_handling",
+                         "migration", "writeback")]
+    print()
+    print(format_table(["component", "cycles", "of total"], rows,
+                       title="-- cycle breakdown (components overlap; "
+                             "sum may exceed total)"))
+
+
+def cmd_run(args) -> int:
+    cfg = _build_config(args)
+    wl = make_workload(args.workload, args.scale)
+    result = Simulator(cfg).run(wl, oversubscription=args.oversub)
+    _print_summary(result)
+    if args.histogram:
+        rows = [[s["name"], s["pages"], s["reads"], s["writes"],
+                 round(s["accesses_per_page"], 1),
+                 "RO" if s["read_only"] else "RW"]
+                for s in result.stats.allocation_summary()]
+        print()
+        print(format_table(
+            ["allocation", "pages", "reads", "writes", "acc/page", "type"],
+            rows, title="-- access histogram per allocation"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    results = {}
+    for pol in MigrationPolicy:
+        cfg = SimulationConfig(seed=args.seed).with_policy(
+            pol, static_threshold=args.ts, migration_penalty=args.penalty)
+        wl = make_workload(args.workload, args.scale)
+        results[pol] = Simulator(cfg).run(wl, oversubscription=args.oversub)
+    base = results[MigrationPolicy.DISABLED]
+    rows = []
+    for pol, r in results.items():
+        rows.append([pol.value,
+                     f"{r.runtime_seconds * 1e3:.2f}",
+                     f"{r.normalized_runtime(base) * 100:.1f}%",
+                     r.fault_count, r.events.n_remote,
+                     r.events.thrash_migrations])
+    print(format_table(
+        ["policy", "runtime (ms)", "vs baseline", "faults", "remote",
+         "thrash"],
+        rows, title=f"== {args.workload} @ {args.oversub:.0%} "
+                    f"of device memory =="))
+    return 0
+
+
+#: Figures whose data is a SeriesResult (CSV-exportable).
+_FIGURE_SERIES = {
+    "fig1": lambda scale: analysis.figure1(scale),
+    "fig4": lambda scale: analysis.figure4(scale),
+    "fig5": lambda scale: analysis.figure5(scale),
+    "fig6": lambda scale: analysis.figure6_7(scale)[0],
+    "fig7": lambda scale: analysis.figure6_7(scale)[1],
+    "fig8": lambda scale: analysis.figure8(scale),
+}
+
+_FIGURES = {
+    "table1": lambda scale: analysis.table1(),
+    "fig1": lambda scale: analysis.figure1(scale).render(),
+    "fig2": lambda scale: analysis.render_figure2(analysis.figure2(scale)),
+    "fig3": lambda scale: analysis.render_figure3(analysis.figure3(scale)),
+    "fig4": lambda scale: analysis.figure4(scale).render(),
+    "fig5": lambda scale: analysis.figure5(scale).render(),
+    "fig6": lambda scale: analysis.figure6_7(scale)[0].render(),
+    "fig7": lambda scale: analysis.figure6_7(scale)[1].render(),
+    "fig8": lambda scale: analysis.figure8(scale).render(),
+}
+
+
+def cmd_figure(args) -> int:
+    ids = sorted(_FIGURES) if args.id == "all" else [args.id]
+    chunks = []
+    for fid in ids:
+        if args.csv:
+            series = _FIGURE_SERIES.get(fid)
+            if series is None:
+                raise SystemExit(
+                    f"--csv is only available for bar figures, not {fid!r}")
+            chunks.append(series(args.scale).to_csv())
+        else:
+            chunks.append(_FIGURES[fid](args.scale))
+    text = "\n\n".join(chunks) if not args.csv else "".join(chunks)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[saved to {args.out}]")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .trace import TraceWorkload, record_trace, save_trace
+    if args.trace_cmd == "record":
+        data = record_trace(make_workload(args.workload, args.scale),
+                            seed=args.seed)
+        path = save_trace(data, args.output)
+        print(f"recorded {data.num_waves} waves / "
+              f"{data.num_accesses} accesses to {path}")
+        return 0
+    # replay
+    cfg = _build_config(args)
+    result = Simulator(cfg).run(TraceWorkload(args.input),
+                                oversubscription=args.oversub)
+    _print_summary(result)
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("workloads:", ", ".join(workload_names(extended=True)))
+    print("scales:   ", ", ".join(SCALES))
+    print("policies: ", ", ".join(p.value for p in MigrationPolicy))
+    print("figures:  ", ", ".join(_FIGURES))
+    return 0
+
+
+def _add_sim_args(p, with_oversub=True) -> None:
+    p.add_argument("--policy", default="adaptive",
+                   choices=[m.value for m in MigrationPolicy])
+    p.add_argument("--ts", type=int, default=8,
+                   help="static access counter threshold")
+    p.add_argument("--penalty", type=int, default=8,
+                   help="multiplicative migration penalty p")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--evict", choices=("2mb", "64kb"), default="2mb",
+                   help="eviction granularity")
+    p.add_argument("--prefetcher", default="tree",
+                   choices=[k.value for k in PrefetcherKind])
+    p.add_argument("--prefetch-degree", type=int, default=4)
+    if with_oversub:
+        p.add_argument("--oversub", type=float, default=1.25,
+                       help="working set as a fraction of device memory "
+                            "(1.25 = 125%% oversubscription)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive page migration under GPU memory "
+                    "oversubscription (IPDPS 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="simulate one workload")
+    p.add_argument("workload", choices=workload_names(extended=True))
+    p.add_argument("--scale", default="small", choices=SCALES)
+    p.add_argument("--histogram", action="store_true",
+                   help="collect per-allocation access histograms")
+    _add_sim_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="all four policies on one workload")
+    p.add_argument("workload", choices=workload_names(extended=True))
+    p.add_argument("--scale", default="small", choices=SCALES)
+    _add_sim_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("id", choices=sorted(_FIGURES) + ["all"])
+    p.add_argument("--scale", default="small", choices=SCALES)
+    p.add_argument("--out", default=None, help="also save to this file")
+    p.add_argument("--csv", action="store_true",
+                   help="emit CSV instead of the rendered table "
+                        "(bar figures only)")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("trace", help="record or replay access traces")
+    tsub = p.add_subparsers(dest="trace_cmd", required=True)
+    pr = tsub.add_parser("record")
+    pr.add_argument("workload", choices=workload_names(extended=True))
+    pr.add_argument("--scale", default="small", choices=SCALES)
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("-o", "--output", required=True)
+    pr.set_defaults(func=cmd_trace)
+    pp = tsub.add_parser("replay")
+    pp.add_argument("-i", "--input", required=True)
+    _add_sim_args(pp)
+    pp.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("list", help="show available names")
+    p.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,311 @@
+"""Simulation configuration (Table I of the paper).
+
+Every row of Table I ("Configuration parameters of the simulated system")
+maps to a field below; bold (default) values in the table are the dataclass
+defaults.  A handful of additional calibration constants parameterize the
+trace-driven timing model (documented in DESIGN.md) -- these have no
+counterpart in the paper because the paper inherits them from GPGPU-Sim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+
+from .memory.layout import BASIC_BLOCK_SIZE, CHUNK_SIZE, GB, MB, PAGE_SIZE
+
+
+class MigrationPolicy(enum.Enum):
+    """Far-access handling schemes compared in the evaluation (Section VI).
+
+    * ``DISABLED`` -- the state-of-the-art baseline: remote access is not
+      enabled and data migrates at first touch (with the tree prefetcher
+      and 2MB LRU replacement).
+    * ``ALWAYS`` -- static access-counter threshold delayed migration from
+      the start of execution (Volta-style access counters).
+    * ``OVERSUB`` -- static-threshold delayed migration enabled only after
+      the device memory becomes oversubscribed.
+    * ``ADAPTIVE`` -- the paper's contribution: dynamic access-counter
+      threshold (Equation 1) with LFU replacement.
+    """
+
+    DISABLED = "disabled"
+    ALWAYS = "always"
+    OVERSUB = "oversub"
+    ADAPTIVE = "adaptive"
+
+    @property
+    def uses_access_counters(self) -> bool:
+        """Whether the scheme consults access counters to delay migration."""
+        return self is not MigrationPolicy.DISABLED
+
+
+class ReplacementPolicy(enum.Enum):
+    """Page replacement policy (Table I: LRU default, LFU for the framework)."""
+
+    LRU = "lru"
+    LFU = "lfu"
+
+
+class EvictionGranularity(enum.Enum):
+    """Eviction unit (Table I: 2MB default, 64KB optional)."""
+
+    CHUNK_2MB = CHUNK_SIZE
+    BLOCK_64KB = BASIC_BLOCK_SIZE
+
+
+class PrefetcherKind(enum.Enum):
+    """Hardware prefetcher selection (Table I: tree-based default)."""
+
+    TREE = "tree"
+    NONE = "none"
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """GPU core organization (Table I, GeForce GTX 1080 Ti, Pascal-like)."""
+
+    num_sms: int = 28
+    cores_per_sm: int = 128
+    clock_mhz: float = 1481.0
+    max_ctas_per_sm: int = 32
+    max_warps_per_sm: int = 64
+    warp_size: int = 32
+    #: Device-local DRAM bandwidth in bytes/s (GTX 1080 Ti: 484 GB/s).
+    dram_bandwidth: float = 484.0e9
+    #: Device DRAM access latency in core cycles (Table I).
+    dram_latency_cycles: int = 100
+    #: Page table walk latency in core cycles (Table I).
+    page_walk_latency_cycles: int = 100
+
+    @property
+    def clock_hz(self) -> float:
+        """Core clock in Hz."""
+        return self.clock_mhz * 1.0e6
+
+    def us_to_cycles(self, micros: float) -> int:
+        """Convert microseconds to (rounded) core cycles."""
+        return int(round(micros * self.clock_mhz))
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("GPU must have positive SM/core counts")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock must be positive")
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """CPU-GPU interconnect (Table I: PCIe 3.0 16x, 8 GT/s per lane/direction)."""
+
+    #: Effective per-direction bandwidth in bytes/s.  PCIe 3.0 x16 has a
+    #: 15.75 GB/s payload ceiling; 16 GB/s is the figure the paper's
+    #: simulator uses (8 GT/s * 16 lanes * 128b/130b).
+    bandwidth: float = 16.0e9
+    #: One-way interconnect latency in GPU core cycles (Table I).
+    latency_cycles: int = 100
+    #: Latency of a remote zero-copy access in GPU core cycles (Table I).
+    remote_access_latency_cycles: int = 200
+    #: Far-fault handling latency in microseconds (Table I: 45us on Pascal).
+    fault_handling_us: float = 45.0
+    #: Number of far-faults the driver resolves per handling batch.  The
+    #: real UVM fault buffer is drained in batches (default 256 entries);
+    #: all faults in one batch share one handling round trip.
+    fault_batch_size: int = 256
+    #: Payload bytes moved by one remote zero-copy transaction (a warp's
+    #: coalesced 128B sector).
+    remote_transaction_bytes: int = 128
+    #: Multiplicative protocol/fragmentation overhead for small remote
+    #: transactions relative to streaming DMA efficiency (a sparse 4-8B
+    #: access still burns a full transaction plus protocol overhead).
+    remote_overhead: float = 4.0
+    #: Number of remote transactions that can overlap in flight (limits
+    #: how much TLP hides the 200-cycle remote latency; sparse dependent
+    #: accesses cannot keep many requests outstanding).
+    remote_concurrency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.fault_batch_size <= 0:
+            raise ValueError("fault_batch_size must be positive")
+        if self.remote_concurrency <= 0:
+            raise ValueError("remote_concurrency must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Device memory capacity and management granularities."""
+
+    #: Device memory capacity in bytes available to managed allocations.
+    #: Experiments set this from the workload footprint and the desired
+    #: oversubscription percentage (the paper controls free space with
+    #: pinned dummy allocations rather than scaling working sets).
+    device_capacity: int = 2 * GB
+    page_size: int = PAGE_SIZE
+    eviction_granularity: EvictionGranularity = EvictionGranularity.CHUNK_2MB
+    replacement: ReplacementPolicy = ReplacementPolicy.LRU
+    #: Enable the hardware prefetcher (Table I).
+    prefetcher_enabled: bool = True
+    #: Which prefetcher to run when enabled (tree-based by default).
+    prefetcher: PrefetcherKind = PrefetcherKind.TREE
+    #: Blocks pulled per fault by the sequential/random prefetchers.
+    prefetch_degree: int = 4
+
+    def __post_init__(self) -> None:
+        if self.device_capacity < CHUNK_SIZE:
+            raise ValueError(
+                f"device capacity {self.device_capacity} smaller than one 2MB chunk"
+            )
+        if self.page_size != PAGE_SIZE:
+            raise ValueError("only 4KB pages are supported")
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Migration policy knobs (Section IV / Table I)."""
+
+    policy: MigrationPolicy = MigrationPolicy.ADAPTIVE
+    #: Static access counter threshold ts (Table I: 8, 16, 32; default 8).
+    static_threshold: int = 8
+    #: Multiplicative migration penalty p (Table I: 2, 4, 8, 1048576).
+    migration_penalty: int = 8
+    #: Bits of the 32-bit counter register used for the access count.
+    counter_bits: int = 27
+    #: Bits used for the round-trip (eviction) count.
+    roundtrip_bits: int = 5
+    #: Judge the adaptive threshold against the paper's historic
+    #: counters (local + remote, never reset).  Setting this to False is
+    #: the ablation of Section IV's "Access Counter Maintenance": the
+    #: dynamic threshold is then compared against plain Volta hardware
+    #: counters (remote-only, reset on migration).
+    historic_counters: bool = True
+    #: Threshold growth function for the ADAPTIVE scheme:
+    #: ``multiplicative`` is the paper's Equation 1; ``linear``,
+    #: ``exponential`` and ``occupancy-only`` are the design-space
+    #: variants of :mod:`repro.core.variants`.
+    threshold_variant: str = "multiplicative"
+
+    def __post_init__(self) -> None:
+        if self.static_threshold < 1:
+            raise ValueError("static threshold must be >= 1")
+        if self.migration_penalty < 1:
+            raise ValueError("migration penalty must be >= 1")
+        if self.counter_bits + self.roundtrip_bits != 32:
+            raise ValueError("counter register must total 32 bits")
+        known = ("multiplicative", "linear", "exponential", "occupancy-only")
+        if self.threshold_variant not in known:
+            raise ValueError(
+                f"unknown threshold variant {self.threshold_variant!r}; "
+                f"choose from {known}")
+
+    @property
+    def counter_max(self) -> int:
+        """Saturation value of the access-count field."""
+        return (1 << self.counter_bits) - 1
+
+    @property
+    def roundtrip_max(self) -> int:
+        """Saturation value of the round-trip field."""
+        return (1 << self.roundtrip_bits) - 1
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Calibration constants of the wave-based cost model (DESIGN.md)."""
+
+    #: Fallback compute cycles charged per memory access when a wave does
+    #: not carry its own estimate (workloads set per-kernel arithmetic
+    #: intensity themselves; see ``compute_per_access`` in their params).
+    compute_cycles_per_access: float = 1.0
+    #: Bytes touched by one coalesced access (one 128B sector).
+    bytes_per_access: int = 128
+    #: Fixed per-wave scheduling overhead in cycles.
+    wave_overhead_cycles: int = 200
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_access <= 0:
+            raise ValueError("bytes_per_access must be positive")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level configuration bundle handed to :class:`repro.sim.Simulator`."""
+
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    #: Capture per-page access histograms (Figure 2) -- adds overhead.
+    collect_page_histogram: bool = False
+    #: Capture (cycle, page, is_write) access samples (Figure 3).
+    collect_access_trace: bool = False
+    #: Capture per-wave memory-pressure samples (occupancy timeline).
+    collect_timeline: bool = False
+    seed: int = 0
+
+    def replace(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with top-level fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def with_policy(self, policy: MigrationPolicy, **policy_kwargs) -> "SimulationConfig":
+        """Return a copy running under ``policy``.
+
+        The baseline keeps LRU replacement; every counter-based scheme uses
+        the framework's simplified LFU (Section VI), matching the paper's
+        experimental setup.
+        """
+        pol = dataclasses.replace(self.policy, policy=policy, **policy_kwargs)
+        repl = (
+            ReplacementPolicy.LRU
+            if policy is MigrationPolicy.DISABLED
+            else ReplacementPolicy.LFU
+        )
+        mem = dataclasses.replace(self.memory, replacement=repl)
+        return dataclasses.replace(self, policy=pol, memory=mem)
+
+    def with_device_capacity(self, capacity_bytes: int) -> "SimulationConfig":
+        """Return a copy with the device memory capacity changed."""
+        mem = dataclasses.replace(self.memory, device_capacity=int(capacity_bytes))
+        return dataclasses.replace(self, memory=mem)
+
+    def with_eviction_granularity(
+            self, granularity: EvictionGranularity) -> "SimulationConfig":
+        """Return a copy evicting at the given granularity (Table I)."""
+        mem = dataclasses.replace(self.memory,
+                                  eviction_granularity=granularity)
+        return dataclasses.replace(self, memory=mem)
+
+    def with_prefetcher(self, kind: PrefetcherKind,
+                        degree: int | None = None) -> "SimulationConfig":
+        """Return a copy running the given prefetcher strategy."""
+        kwargs = {"prefetcher": kind,
+                  "prefetcher_enabled": kind is not PrefetcherKind.NONE}
+        if degree is not None:
+            kwargs["prefetch_degree"] = degree
+        mem = dataclasses.replace(self.memory, **kwargs)
+        return dataclasses.replace(self, memory=mem)
+
+
+def capacity_for_oversubscription(footprint_bytes: int, oversubscription: float = 1.0) -> int:
+    """Device capacity that makes ``footprint_bytes`` oversubscribe it.
+
+    The paper emulates N% oversubscription by shrinking the free device
+    space so that the working set is N% of it: at 125% oversubscription the
+    capacity is ``footprint / 1.25``.  Factors below 1.0 model working
+    sets that fit with slack (e.g. 0.8 leaves 20% headroom -- the
+    "no oversubscription" regime of Figures 4 and 5).  The result is
+    rounded *up* to a whole 2MB chunk so a factor of exactly 1.0 never
+    spuriously evicts.
+    """
+    if oversubscription <= 0.0:
+        raise ValueError("oversubscription factor must be positive")
+    cap = int(footprint_bytes / oversubscription)
+    # Round up to a whole 2MB chunk so oversubscription == 1.0 never
+    # spuriously evicts (capacity must cover the full working set).
+    cap += (-cap) % CHUNK_SIZE
+    return max(cap, CHUNK_SIZE)

@@ -1,0 +1,31 @@
+"""The paper's contribution: migrate-vs-remote decision policies."""
+
+from .policy import (
+    AdaptivePolicy,
+    DecisionPolicy,
+    FirstTouchPolicy,
+    StaticAlwaysPolicy,
+    StaticOversubPolicy,
+    make_policy,
+)
+from .variants import (
+    VARIANTS,
+    ExponentialBackoffPolicy,
+    LinearBackoffPolicy,
+    OccupancyOnlyPolicy,
+    make_variant,
+)
+
+__all__ = [
+    "AdaptivePolicy",
+    "DecisionPolicy",
+    "ExponentialBackoffPolicy",
+    "FirstTouchPolicy",
+    "LinearBackoffPolicy",
+    "OccupancyOnlyPolicy",
+    "StaticAlwaysPolicy",
+    "StaticOversubPolicy",
+    "VARIANTS",
+    "make_policy",
+    "make_variant",
+]

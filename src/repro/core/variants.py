@@ -1,0 +1,105 @@
+"""Dynamic-threshold variants: exploring Equation 1's design space.
+
+Section VI-D frames ``ts`` and ``p`` as driver module parameters and
+leaves their interaction with the round-trip count as the mechanism
+under study.  Equation 1 grows the threshold *multiplicatively* in the
+round-trip count:  ``td = ts * (r + 1) * p``.  This module implements
+the neighbouring designs a reviewer would ask about, so they can be
+ablated against the paper's choice:
+
+* :class:`LinearBackoffPolicy` -- additive growth, ``td = ts + r * p``:
+  pins thrashing blocks more gently; a block can keep earning
+  migrations forever if its access rate grows linearly.
+* :class:`ExponentialBackoffPolicy` -- geometric growth,
+  ``td = ts * p ** (r + 1)`` (capped): pins much harder after few round
+  trips, converging on permanent zero-copy.
+* :class:`OccupancyOnlyPolicy` -- ignores round trips entirely and uses
+  the pre-oversubscription branch of Equation 1 at all times: the
+  ablation showing that occupancy scaling alone cannot stop thrashing.
+
+All variants keep the framework's other machinery (historic counters,
+LFU replacement) so the comparison isolates the threshold function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MigrationPolicy, PolicyConfig
+from ..uvm import thresholds as th
+from .policy import AdaptivePolicy, DecisionPolicy, make_policy as _make_base
+
+
+class LinearBackoffPolicy(AdaptivePolicy):
+    """Additive round-trip backoff: ``td = ts + r * p`` once oversubscribed."""
+
+    kind = MigrationPolicy.ADAPTIVE
+
+    def decision_state(self, blocks, driver):
+        ts = self.config.static_threshold
+        counters = driver.counters
+        if not driver.device.oversubscribed:
+            return super().decision_state(blocks, driver)
+        r = counters.roundtrips[blocks].astype(np.int64)
+        td = ts + r * self.config.migration_penalty
+        return (td, counters.counts[blocks].astype(np.int64))
+
+
+class ExponentialBackoffPolicy(AdaptivePolicy):
+    """Geometric round-trip backoff: ``td = ts * p**(r+1)``, capped.
+
+    The cap keeps thresholds inside the 27-bit counter range; blocks
+    that reach it are effectively hard-pinned to host memory.
+    """
+
+    kind = MigrationPolicy.ADAPTIVE
+
+    #: Upper bound on the threshold (2^20 accesses, the paper's extreme
+    #: penalty value).
+    CAP = 1 << 20
+
+    def decision_state(self, blocks, driver):
+        ts = self.config.static_threshold
+        counters = driver.counters
+        if not driver.device.oversubscribed:
+            return super().decision_state(blocks, driver)
+        r = counters.roundtrips[blocks].astype(np.int64)
+        p = self.config.migration_penalty
+        exponents = np.minimum(r + 1, 32)
+        td = np.minimum(ts * np.power(float(p), exponents),
+                        float(self.CAP)).astype(np.int64)
+        td = np.maximum(td, 1)
+        return (td, counters.counts[blocks].astype(np.int64))
+
+
+class OccupancyOnlyPolicy(AdaptivePolicy):
+    """Ablation: Equation 1's first branch only, even after pressure."""
+
+    kind = MigrationPolicy.ADAPTIVE
+
+    def decision_state(self, blocks, driver):
+        ts = self.config.static_threshold
+        counters = driver.counters
+        td_scalar = th.dynamic_threshold_no_oversub(
+            ts, driver.device.occupancy)
+        td = np.full(len(blocks), td_scalar, dtype=np.int64)
+        return (td, counters.counts[blocks].astype(np.int64))
+
+
+#: Registry of threshold variants, keyed by a short name.
+VARIANTS: dict[str, type[DecisionPolicy]] = {
+    "multiplicative": AdaptivePolicy,       # the paper's Equation 1
+    "linear": LinearBackoffPolicy,
+    "exponential": ExponentialBackoffPolicy,
+    "occupancy-only": OccupancyOnlyPolicy,
+}
+
+
+def make_variant(name: str, config: PolicyConfig) -> DecisionPolicy:
+    """Instantiate a threshold variant by name."""
+    try:
+        cls = VARIANTS[name]
+    except KeyError:
+        raise KeyError(f"unknown threshold variant {name!r}; "
+                       f"choose from {sorted(VARIANTS)}") from None
+    return cls(config)

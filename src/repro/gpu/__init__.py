@@ -1,0 +1,14 @@
+"""GPU-side execution and timing models."""
+
+from .engine import GpuExecutionEngine
+from .sm import KernelResources, SmOccupancyModel, SmResources
+from .timing import TimingModel, WaveTiming
+
+__all__ = [
+    "GpuExecutionEngine",
+    "KernelResources",
+    "SmOccupancyModel",
+    "SmResources",
+    "TimingModel",
+    "WaveTiming",
+]

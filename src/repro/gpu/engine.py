@@ -1,0 +1,62 @@
+"""GPU execution engine: drives a workload's kernels through the driver.
+
+The engine is the simulated SM array at wave granularity: it pulls waves
+from each kernel launch, hands them to the UVM driver, converts the
+resulting event counts to cycles with the timing model, and advances the
+global cycle clock.  Kernel launches execute back-to-back, as the
+benchmarks in the paper do (``cudaDeviceSynchronize`` between launches).
+"""
+
+from __future__ import annotations
+
+from ..gpu.timing import TimingModel, WaveTiming
+from ..stats.collector import StatsCollector
+from ..uvm.driver import UvmDriver, WaveOutcome
+from ..workloads.base import KernelLaunch, Workload
+
+
+class GpuExecutionEngine:
+    """Runs a workload to completion and accumulates cycles and events."""
+
+    def __init__(self, driver: UvmDriver, timing: TimingModel,
+                 collector: StatsCollector | None = None) -> None:
+        self.driver = driver
+        self.timing = timing
+        self.collector = collector
+        self.cycle = 0.0
+        self.total_timing = WaveTiming()
+        self.total_events = WaveOutcome()
+
+    def run_kernel(self, launch: KernelLaunch) -> float:
+        """Execute one kernel launch; returns its cycle cost."""
+        kernel_cycles = 0.0
+        kernel_accesses = 0
+        for wave in launch.waves():
+            if self.collector is not None:
+                self.collector.on_wave(launch.name, launch.iteration,
+                                       self.cycle, wave.pages, wave.is_write,
+                                       wave.counts)
+            outcome = self.driver.process_wave(wave.pages, wave.is_write,
+                                               wave.counts)
+            t = self.timing.wave_cycles(outcome, wave.compute_cycles)
+            self.total_timing.merge(t)
+            self.total_events.merge(outcome)
+            self.cycle += t.total
+            kernel_cycles += t.total
+            kernel_accesses += outcome.n_accesses
+            if self.collector is not None:
+                self.collector.on_timeline(
+                    self.cycle, self.driver.device.used_blocks,
+                    self.driver.device.capacity_blocks,
+                    self.total_events.fault_events,
+                    self.total_events.thrash_migrations)
+        if self.collector is not None:
+            self.collector.on_kernel_end(launch.name, kernel_cycles,
+                                         kernel_accesses)
+        return kernel_cycles
+
+    def run(self, workload: Workload) -> float:
+        """Execute every kernel of ``workload``; returns total cycles."""
+        for launch in workload.kernels():
+            self.run_kernel(launch)
+        return self.cycle

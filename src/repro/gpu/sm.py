@@ -1,0 +1,107 @@
+"""SM occupancy model (Table I's shader-core configuration).
+
+The paper's simulator inherits GPGPU-Sim's shader cores: 28 SMs with up
+to 32 CTAs and 64 warps each, GTO-scheduled.  The wave-based timing
+model does not simulate warp issue, but occupancy still matters: a
+kernel that cannot fill the SMs hides less memory latency, which is why
+`TimingModel` lets workloads scale their compute estimate.  This module
+provides the standard CUDA occupancy arithmetic so that scaling can be
+derived from a kernel's launch configuration instead of guessed.
+
+`KernelResources` describes one kernel's per-CTA appetite;
+`SmOccupancyModel.occupancy` returns the fraction of the GPU's warp
+slots it can keep busy, limited by whichever resource runs out first
+(warps, CTA slots, registers, or shared memory) -- the same arithmetic
+as NVIDIA's occupancy calculator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GpuConfig
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-CTA resource appetite of one kernel."""
+
+    #: Threads per CTA (block size).
+    threads_per_cta: int = 256
+    #: Registers per thread.
+    registers_per_thread: int = 32
+    #: Shared memory bytes per CTA.
+    shared_mem_per_cta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads_per_cta < 1:
+            raise ValueError("CTA must have at least one thread")
+        if self.registers_per_thread < 0 or self.shared_mem_per_cta < 0:
+            raise ValueError("resource demands cannot be negative")
+
+
+@dataclass(frozen=True)
+class SmResources:
+    """Per-SM resource pools (Pascal GP102 defaults)."""
+
+    register_file: int = 65536
+    shared_memory: int = 98304
+    max_threads: int = 2048
+
+
+class SmOccupancyModel:
+    """CUDA occupancy arithmetic over the configured GPU."""
+
+    def __init__(self, gpu: GpuConfig | None = None,
+                 sm: SmResources | None = None) -> None:
+        self.gpu = gpu or GpuConfig()
+        self.sm = sm or SmResources()
+
+    def warps_per_cta(self, kernel: KernelResources) -> int:
+        """Warps one CTA occupies (rounded up)."""
+        return -(-kernel.threads_per_cta // self.gpu.warp_size)
+
+    def ctas_per_sm(self, kernel: KernelResources) -> int:
+        """Resident CTAs per SM, limited by the scarcest resource."""
+        g, s = self.gpu, self.sm
+        warps = self.warps_per_cta(kernel)
+        limits = [
+            g.max_ctas_per_sm,
+            g.max_warps_per_sm // warps,
+            s.max_threads // kernel.threads_per_cta,
+        ]
+        regs_per_cta = (kernel.registers_per_thread
+                        * kernel.threads_per_cta)
+        if regs_per_cta:
+            limits.append(s.register_file // regs_per_cta)
+        if kernel.shared_mem_per_cta:
+            limits.append(s.shared_memory // kernel.shared_mem_per_cta)
+        return max(0, min(limits))
+
+    def active_warps_per_sm(self, kernel: KernelResources) -> int:
+        """Warps resident on one SM under this kernel."""
+        return self.ctas_per_sm(kernel) * self.warps_per_cta(kernel)
+
+    def occupancy(self, kernel: KernelResources) -> float:
+        """Fraction of the SM's warp slots the kernel fills (0..1)."""
+        return self.active_warps_per_sm(kernel) / self.gpu.max_warps_per_sm
+
+    def total_active_warps(self, kernel: KernelResources) -> int:
+        """Active warps across the whole GPU."""
+        return self.active_warps_per_sm(kernel) * self.gpu.num_sms
+
+    def compute_scale(self, kernel: KernelResources,
+                      reference_occupancy: float = 1.0) -> float:
+        """Compute-time multiplier for a kernel's launch configuration.
+
+        Lower occupancy means less latency hiding, hence proportionally
+        more effective cycles per access relative to a fully occupied
+        reference.  Returns >= 1.0; infinite-demand kernels (occupancy
+        zero) are rejected.
+        """
+        occ = self.occupancy(kernel)
+        if occ <= 0.0:
+            raise ValueError("kernel cannot be scheduled on this SM")
+        if not 0.0 < reference_occupancy <= 1.0:
+            raise ValueError("reference occupancy must be in (0, 1]")
+        return max(1.0, reference_occupancy / occ)

@@ -1,0 +1,5 @@
+"""CPU-GPU interconnect models."""
+
+from .pcie import PcieModel
+
+__all__ = ["PcieModel"]

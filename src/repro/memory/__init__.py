@@ -1,0 +1,18 @@
+"""Memory substrate: geometry, VA allocator, device and host memory."""
+
+from . import layout
+from .advice import Advice
+from .allocation import ChunkSpan, ManagedAllocation
+from .allocator import VirtualAddressSpace
+from .device import DeviceMemory
+from .host import HostMemory
+
+__all__ = [
+    "Advice",
+    "layout",
+    "ChunkSpan",
+    "ManagedAllocation",
+    "VirtualAddressSpace",
+    "DeviceMemory",
+    "HostMemory",
+]

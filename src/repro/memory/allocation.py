@@ -1,0 +1,108 @@
+"""Managed allocation handles (the ``cudaMallocManaged`` analogue).
+
+A :class:`ManagedAllocation` is the object a workload receives when it
+allocates a data structure.  It records the allocation's position in the
+flat virtual page space, its logical chunk decomposition (Section II-B),
+and bookkeeping the statistics layer uses to attribute accesses to data
+structures (Figure 2 groups access histograms per managed allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import layout
+from .advice import Advice
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """One logical chunk of an allocation: a prefetch-tree domain."""
+
+    #: Global chunk id assigned by the VA space.
+    chunk_id: int
+    #: First global basic-block index of the chunk.
+    first_block: int
+    #: Number of basic blocks in the chunk (power of two, <= 32).
+    num_blocks: int
+
+    @property
+    def last_block(self) -> int:
+        """One past the chunk's final basic-block index."""
+        return self.first_block + self.num_blocks
+
+    @property
+    def size_bytes(self) -> int:
+        """Chunk size in bytes."""
+        return self.num_blocks * layout.BASIC_BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class ManagedAllocation:
+    """A single managed (UVM) allocation visible to both host and device."""
+
+    #: Monotonic id assigned by the VA space.
+    alloc_id: int
+    #: Human-readable data-structure name (e.g. ``"graph.edges"``).
+    name: str
+    #: Byte size requested by the workload.
+    requested_bytes: int
+    #: Byte size after the 2^i*64KB round-up.
+    rounded_bytes: int
+    #: First global page index.
+    first_page: int
+    #: Number of pages (rounded size / 4KB).
+    num_pages: int
+    #: Workload advice: the data structure is only ever read by the GPU.
+    #: Used by Figure 2's read-only/read-write split and by the LFU
+    #: replacement's read-only victim preference.
+    read_only: bool
+    #: Logical chunks covering the allocation.
+    chunks: tuple[ChunkSpan, ...] = field(repr=False)
+    #: Programmer placement hint (Section III-C); default: none.
+    advice: Advice = Advice.NONE
+
+    @property
+    def first_block(self) -> int:
+        """First global basic-block index."""
+        return layout.page_to_block(self.first_page)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of basic blocks spanned."""
+        return self.num_pages // layout.PAGES_PER_BLOCK
+
+    @property
+    def last_page(self) -> int:
+        """One past the final page index."""
+        return self.first_page + self.num_pages
+
+    def page(self, element_offset_bytes: int) -> int:
+        """Global page index holding byte offset ``element_offset_bytes``."""
+        if not 0 <= element_offset_bytes < self.rounded_bytes:
+            raise IndexError(
+                f"offset {element_offset_bytes} outside allocation "
+                f"{self.name!r} of {self.rounded_bytes} bytes"
+            )
+        return self.first_page + (element_offset_bytes >> layout.PAGE_SHIFT)
+
+    def pages_of(self, byte_offsets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`page` for an array of byte offsets."""
+        offs = np.asarray(byte_offsets, dtype=np.int64)
+        if offs.size and (offs.min() < 0 or offs.max() >= self.rounded_bytes):
+            raise IndexError(f"offsets outside allocation {self.name!r}")
+        return self.first_page + (offs >> layout.PAGE_SHIFT)
+
+    def page_range(self, start_byte: int = 0, end_byte: int | None = None) -> np.ndarray:
+        """All page indices covering ``[start_byte, end_byte)``."""
+        end_byte = self.requested_bytes if end_byte is None else end_byte
+        if not 0 <= start_byte < end_byte <= self.rounded_bytes:
+            raise IndexError(
+                f"range [{start_byte}, {end_byte}) invalid for {self.name!r}"
+            )
+        first = start_byte >> layout.PAGE_SHIFT
+        last = (end_byte - 1 >> layout.PAGE_SHIFT) + 1
+        return np.arange(self.first_page + first, self.first_page + last,
+                         dtype=np.int64)

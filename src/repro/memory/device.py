@@ -1,0 +1,82 @@
+"""Device memory frame accounting.
+
+Tracks how many 64KB basic blocks are resident in the device-local DRAM
+and whether the device has crossed into oversubscription.  Residency of
+*which* blocks is owned by :class:`repro.uvm.residency.ResidencyMap`; this
+class only owns capacity arithmetic, mirroring the split between the
+physical memory manager and the virtual/page-table layer in the real
+driver.
+"""
+
+from __future__ import annotations
+
+from . import layout
+
+
+class DeviceMemory:
+    """Capacity ledger for device-local memory at 64KB granularity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < layout.CHUNK_SIZE:
+            raise ValueError("device capacity below one 2MB chunk")
+        self._capacity_blocks = capacity_bytes // layout.BASIC_BLOCK_SIZE
+        self._used_blocks = 0
+        #: Set permanently once the first migration could not be satisfied
+        #: without evicting -- the paper's Equation 1 switches branches on
+        #: this condition.
+        self.oversubscribed = False
+        #: High-water mark, for statistics.
+        self.peak_used_blocks = 0
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Total 64KB frames in device memory."""
+        return self._capacity_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity in bytes."""
+        return self._capacity_blocks * layout.BASIC_BLOCK_SIZE
+
+    @property
+    def used_blocks(self) -> int:
+        """Currently resident 64KB frames."""
+        return self._used_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        """Unoccupied 64KB frames."""
+        return self._capacity_blocks - self._used_blocks
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of device memory in use (Equation 1's allocated/total)."""
+        return self._used_blocks / self._capacity_blocks
+
+    def can_fit(self, n_blocks: int) -> bool:
+        """Whether ``n_blocks`` frames can be allocated without eviction."""
+        return self._used_blocks + n_blocks <= self._capacity_blocks
+
+    def allocate(self, n_blocks: int) -> None:
+        """Claim ``n_blocks`` frames.  Caller must have made room first."""
+        if n_blocks < 0:
+            raise ValueError("cannot allocate a negative number of blocks")
+        if not self.can_fit(n_blocks):
+            raise RuntimeError(
+                f"device memory overflow: {self._used_blocks}+{n_blocks} "
+                f"> {self._capacity_blocks} blocks"
+            )
+        self._used_blocks += n_blocks
+        self.peak_used_blocks = max(self.peak_used_blocks, self._used_blocks)
+
+    def release(self, n_blocks: int) -> None:
+        """Return ``n_blocks`` frames to the free pool (eviction)."""
+        if n_blocks < 0 or n_blocks > self._used_blocks:
+            raise ValueError(
+                f"cannot release {n_blocks} of {self._used_blocks} used blocks"
+            )
+        self._used_blocks -= n_blocks
+
+    def note_pressure(self) -> None:
+        """Record that a migration required eviction (enters oversubscription)."""
+        self.oversubscribed = True

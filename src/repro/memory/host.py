@@ -1,0 +1,50 @@
+"""Host memory backing store bookkeeping.
+
+In UVM the host holds the authoritative copy of every page that is not
+resident on the device (Section III-C: a single physical copy exists at
+any time).  The simulator does not move real data, so this module only
+tracks the *protocol*: which basic blocks are currently host-backed,
+which have a remote (zero-copy) mapping established by the device, and
+cumulative traffic for statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class HostMemory:
+    """Host-side mapping state for every basic block in the VA space."""
+
+    def __init__(self, total_blocks: int) -> None:
+        if total_blocks <= 0:
+            raise ValueError("VA space must contain at least one block")
+        #: True while the host holds the valid copy (i.e. block not on device).
+        self.valid = np.ones(total_blocks, dtype=bool)
+        #: True when the device has established a remote zero-copy mapping
+        #: to the host copy (so further remote accesses need no fault).
+        self.remote_mapped = np.zeros(total_blocks, dtype=bool)
+
+    @property
+    def total_blocks(self) -> int:
+        """Number of basic blocks tracked."""
+        return self.valid.size
+
+    def migrate_to_device(self, blocks: np.ndarray) -> None:
+        """Invalidate host copies when blocks migrate to the device.
+
+        Migration tears down any remote mapping (the host PTE is
+        invalidated and the device gets a local mapping instead).
+        """
+        self.valid[blocks] = False
+        self.remote_mapped[blocks] = False
+
+    def accept_eviction(self, blocks: np.ndarray) -> None:
+        """Re-validate host copies when blocks are evicted from the device."""
+        self.valid[blocks] = True
+
+    def map_remote(self, blocks: np.ndarray) -> None:
+        """Establish device->host zero-copy mappings for host-valid blocks."""
+        if not np.all(self.valid[blocks]):
+            raise RuntimeError("cannot remote-map a block resident on device")
+        self.remote_mapped[blocks] = True

@@ -1,0 +1,5 @@
+"""Multi-GPU collaborative execution (paper future work, Section VIII)."""
+
+from .cluster import MultiGpuResult, MultiGpuSimulator
+
+__all__ = ["MultiGpuResult", "MultiGpuSimulator"]

@@ -1,0 +1,6 @@
+"""Simulation facade and results."""
+
+from .results import RunResult
+from .simulator import Simulator
+
+__all__ = ["RunResult", "Simulator"]

@@ -1,0 +1,81 @@
+"""Top-level simulation facade.
+
+``Simulator`` wires together the VA space, the UVM driver, the PCIe and
+timing models, and the execution engine, then runs a workload end to end:
+
+>>> from repro import Simulator, SimulationConfig, MigrationPolicy
+>>> from repro.workloads import make_workload
+>>> cfg = SimulationConfig().with_policy(MigrationPolicy.ADAPTIVE)
+>>> result = Simulator(cfg).run(make_workload("sssp", scale="tiny"))
+>>> result.total_cycles > 0
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SimulationConfig, capacity_for_oversubscription
+from ..gpu.engine import GpuExecutionEngine
+from ..gpu.timing import TimingModel
+from ..interconnect.pcie import PcieModel
+from ..memory.allocator import VirtualAddressSpace
+from ..stats.collector import StatsCollector
+from ..uvm.driver import UvmDriver
+from ..workloads.base import Workload
+from .results import RunResult
+
+
+class Simulator:
+    """Runs one workload under one configuration."""
+
+    def __init__(self, config: SimulationConfig | None = None) -> None:
+        self.config = config or SimulationConfig()
+
+    def run(self, workload: Workload,
+            oversubscription: float | None = None) -> RunResult:
+        """Simulate ``workload`` to completion.
+
+        When ``oversubscription`` is given, the device capacity is derived
+        from the workload footprint (the paper's methodology: free space is
+        throttled, working sets are not scaled).  Otherwise the configured
+        ``memory.device_capacity`` is used as-is.
+        """
+        rng = np.random.default_rng(self.config.seed)
+        vas = VirtualAddressSpace()
+        workload.build(vas, rng)
+        if not vas.allocations:
+            raise ValueError(f"workload {workload.name!r} allocated nothing")
+
+        config = self.config
+        if oversubscription is not None:
+            cap = capacity_for_oversubscription(vas.footprint_bytes,
+                                                oversubscription)
+            config = config.with_device_capacity(cap)
+
+        driver = UvmDriver(vas, config)
+        pcie = PcieModel(config.interconnect, config.gpu)
+        timing = TimingModel(config, pcie)
+        collector = None
+        if (config.collect_page_histogram or config.collect_access_trace
+                or config.collect_timeline):
+            collector = StatsCollector(
+                vas,
+                histogram=config.collect_page_histogram,
+                trace=config.collect_access_trace,
+                timeline=config.collect_timeline,
+            )
+        engine = GpuExecutionEngine(driver, timing, collector)
+        total = engine.run(workload)
+
+        return RunResult(
+            workload=workload.name,
+            config=config,
+            total_cycles=total,
+            timing=engine.total_timing,
+            events=engine.total_events,
+            stats=collector,
+            footprint_bytes=vas.footprint_bytes,
+            device_capacity_bytes=driver.device.capacity_bytes,
+            unique_thrashed_blocks=len(driver.stats.thrashed_block_ids),
+        )

@@ -1,0 +1,7 @@
+"""Statistics collection."""
+
+from .collector import (KernelStats, StatsCollector,
+                        TimelineSample, TraceRecord)
+
+__all__ = ["KernelStats", "StatsCollector", "TimelineSample",
+           "TraceRecord"]

@@ -1,0 +1,160 @@
+"""Run statistics: counters, per-page histograms, and access traces.
+
+The collector sits next to the driver and records what the paper's
+figures need:
+
+* cumulative event totals (runtime components, thrash counts) for
+  Figures 1 and 4--8;
+* optional per-page read/write access histograms, grouped per managed
+  allocation, for the Figure 2 access-distribution plots;
+* optional sampled ``(cycle, page, is_write)`` traces tagged with kernel
+  name and iteration for the Figure 3 access-pattern visualizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memory.allocator import VirtualAddressSpace
+
+
+@dataclass
+class TraceRecord:
+    """One sampled wave for access-pattern plots (Figure 3)."""
+
+    cycle: float
+    kernel: str
+    iteration: int
+    pages: np.ndarray
+    is_write: np.ndarray
+
+
+@dataclass
+class KernelStats:
+    """Aggregated cycles and accesses per kernel name."""
+
+    cycles: float = 0.0
+    accesses: int = 0
+    launches: int = 0
+
+
+@dataclass
+class TimelineSample:
+    """One memory-pressure sample (taken after a wave completes)."""
+
+    cycle: float
+    resident_blocks: int
+    capacity_blocks: int
+    cumulative_faults: int
+    cumulative_thrash: int
+
+    @property
+    def occupancy(self) -> float:
+        """Device occupancy fraction at this sample."""
+        return self.resident_blocks / self.capacity_blocks
+
+
+class StatsCollector:
+    """Optional heavyweight instrumentation toggled by the config."""
+
+    def __init__(self, vas: VirtualAddressSpace,
+                 histogram: bool = False, trace: bool = False,
+                 timeline: bool = False, trace_sample: int = 512) -> None:
+        self.vas = vas
+        self.histogram_enabled = histogram
+        self.trace_enabled = trace
+        self.timeline_enabled = timeline
+        self.trace_sample = trace_sample
+        n = vas.total_pages
+        self.page_reads = np.zeros(n, dtype=np.int64) if histogram else None
+        self.page_writes = np.zeros(n, dtype=np.int64) if histogram else None
+        self.trace: list[TraceRecord] = []
+        self.timeline: list[TimelineSample] = []
+        self.kernels: dict[str, KernelStats] = {}
+
+    def on_wave(self, kernel: str, iteration: int, cycle: float,
+                pages: np.ndarray, is_write: np.ndarray,
+                counts: np.ndarray | None = None) -> None:
+        """Record one wave before the driver consumes it."""
+        if counts is None:
+            counts = np.ones(pages.shape, dtype=np.int64)
+        if self.histogram_enabled:
+            np.add.at(self.page_reads, pages[~is_write], counts[~is_write])
+            np.add.at(self.page_writes, pages[is_write], counts[is_write])
+        if self.trace_enabled and pages.size:
+            if pages.size > self.trace_sample:
+                idx = np.linspace(0, pages.size - 1, self.trace_sample,
+                                  dtype=np.int64)
+                rec_pages, rec_writes = pages[idx], is_write[idx]
+            else:
+                rec_pages, rec_writes = pages.copy(), is_write.copy()
+            self.trace.append(TraceRecord(cycle, kernel, iteration,
+                                          rec_pages, rec_writes))
+
+    def on_timeline(self, cycle: float, resident_blocks: int,
+                    capacity_blocks: int, cumulative_faults: int,
+                    cumulative_thrash: int) -> None:
+        """Record one post-wave memory-pressure sample."""
+        if not self.timeline_enabled:
+            return
+        self.timeline.append(TimelineSample(
+            cycle=cycle, resident_blocks=resident_blocks,
+            capacity_blocks=capacity_blocks,
+            cumulative_faults=cumulative_faults,
+            cumulative_thrash=cumulative_thrash))
+
+    def render_timeline(self, width: int = 64, height: int = 8) -> str:
+        """ASCII occupancy-over-time sketch from the timeline samples."""
+        if not self.timeline:
+            return "(no timeline samples)"
+        t_max = self.timeline[-1].cycle or 1.0
+        raster = [[" "] * width for _ in range(height)]
+        for s in self.timeline:
+            col = min(int(width * s.cycle / t_max), width - 1)
+            row = min(int(height * s.occupancy), height - 1)
+            raster[height - 1 - row][col] = "#"
+        lines = ["occupancy over time (100% at top):"]
+        lines += ["  |" + "".join(r) + "|" for r in raster]
+        return "\n".join(lines)
+
+    def on_kernel_end(self, kernel: str, cycles: float, accesses: int) -> None:
+        """Accumulate per-kernel totals."""
+        ks = self.kernels.setdefault(kernel, KernelStats())
+        ks.cycles += cycles
+        ks.accesses += accesses
+        ks.launches += 1
+
+    # -- Figure 2 helpers ---------------------------------------------------
+
+    def allocation_histogram(self, name: str) -> dict[str, np.ndarray]:
+        """Per-page read/write counts of one allocation, requested pages only."""
+        if not self.histogram_enabled:
+            raise RuntimeError("histogram collection was not enabled")
+        alloc = next(a for a in self.vas.allocations if a.name == name)
+        lo, hi = alloc.first_page, alloc.last_page
+        return {
+            "reads": self.page_reads[lo:hi].copy(),
+            "writes": self.page_writes[lo:hi].copy(),
+        }
+
+    def allocation_summary(self) -> list[dict]:
+        """Access totals per allocation (hot/cold, RO/RW classification)."""
+        if not self.histogram_enabled:
+            raise RuntimeError("histogram collection was not enabled")
+        rows = []
+        for alloc in self.vas.allocations:
+            lo, hi = alloc.first_page, alloc.last_page
+            reads = int(self.page_reads[lo:hi].sum())
+            writes = int(self.page_writes[lo:hi].sum())
+            pages = hi - lo
+            rows.append({
+                "name": alloc.name,
+                "pages": pages,
+                "reads": reads,
+                "writes": writes,
+                "accesses_per_page": (reads + writes) / pages,
+                "read_only": writes == 0,
+            })
+        return rows

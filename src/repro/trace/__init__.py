@@ -1,0 +1,15 @@
+"""Trace capture and replay: record a workload's access stream once,
+re-simulate it under any configuration, or import external traces."""
+
+from .format import TRACE_VERSION, TraceData
+from .recorder import load_trace, record_trace, save_trace
+from .replay import TraceWorkload
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceData",
+    "TraceWorkload",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+]

@@ -1,0 +1,88 @@
+"""On-disk trace format (single ``.npz`` file).
+
+A trace captures everything the simulator consumes from a workload: the
+managed-allocation table and the full wave stream (pages, write flags,
+coalesced access counts, compute estimates), grouped by kernel launch.
+Traces let a workload's access pattern be generated once and re-simulated
+under many configurations, or be produced by external tools.
+
+Arrays stored:
+
+========================  =====================================================
+``alloc_names``           allocation names (unicode)
+``alloc_sizes``           requested bytes per allocation (int64)
+``alloc_read_only``       read-only flags (bool)
+``alloc_advice``          advice codes (unicode, ``Advice.value``)
+``kernel_names``          one entry per kernel launch (unicode)
+``kernel_iterations``     iteration id per launch (int64)
+``wave_kernel``           launch index per wave (int64)
+``wave_offsets``          CSR offsets into the flattened access arrays
+``wave_compute``          compute-cycles override per wave (NaN = default)
+``pages`` / ``is_write`` / ``counts``   flattened access stream
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Format version written into every trace file.
+TRACE_VERSION = 1
+
+
+@dataclass
+class TraceData:
+    """In-memory representation of a recorded trace."""
+
+    alloc_names: list[str]
+    alloc_sizes: np.ndarray
+    alloc_read_only: np.ndarray
+    alloc_advice: list[str]
+    kernel_names: list[str]
+    kernel_iterations: np.ndarray
+    wave_kernel: np.ndarray
+    wave_offsets: np.ndarray
+    wave_compute: np.ndarray
+    pages: np.ndarray
+    is_write: np.ndarray
+    counts: np.ndarray
+    version: int = TRACE_VERSION
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_waves(self) -> int:
+        """Number of recorded waves."""
+        return self.wave_kernel.size
+
+    @property
+    def num_launches(self) -> int:
+        """Number of recorded kernel launches."""
+        return len(self.kernel_names)
+
+    @property
+    def num_accesses(self) -> int:
+        """Total coalesced accesses in the trace."""
+        return int(self.counts.sum())
+
+    def validate(self) -> None:
+        """Check structural invariants of the trace."""
+        if self.version != TRACE_VERSION:
+            raise ValueError(f"unsupported trace version {self.version}")
+        if self.wave_offsets[0] != 0 or self.wave_offsets[-1] != self.pages.size:
+            raise ValueError("wave offsets do not cover the access stream")
+        if np.any(np.diff(self.wave_offsets) < 0):
+            raise ValueError("wave offsets must be nondecreasing")
+        if self.wave_offsets.size != self.num_waves + 1:
+            raise ValueError("need one offset per wave plus a sentinel")
+        if not (self.pages.size == self.is_write.size == self.counts.size):
+            raise ValueError("access arrays must be parallel")
+        if self.wave_kernel.size and (
+                self.wave_kernel.min() < 0
+                or self.wave_kernel.max() >= self.num_launches):
+            raise ValueError("wave kernel index out of range")
+        if self.counts.size and self.counts.min() < 1:
+            raise ValueError("counts must be >= 1")
+        if len(self.alloc_names) != self.alloc_sizes.size:
+            raise ValueError("allocation table arrays must be parallel")

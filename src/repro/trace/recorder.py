@@ -1,0 +1,125 @@
+"""Recording workload executions into trace files."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..memory.allocator import VirtualAddressSpace
+from ..workloads.base import Workload
+from .format import TraceData
+
+
+def record_trace(workload: Workload, seed: int = 0) -> TraceData:
+    """Run ``workload``'s generators and capture the full wave stream.
+
+    No simulation happens -- this only materializes the access trace a
+    simulator run would consume, so it is fast and configuration
+    independent.
+    """
+    vas = VirtualAddressSpace()
+    workload.build(vas, np.random.default_rng(seed))
+    if not vas.allocations:
+        raise ValueError(f"workload {workload.name!r} allocated nothing")
+
+    kernel_names: list[str] = []
+    kernel_iters: list[int] = []
+    wave_kernel: list[int] = []
+    wave_compute: list[float] = []
+    offsets: list[int] = [0]
+    pages_parts: list[np.ndarray] = []
+    write_parts: list[np.ndarray] = []
+    count_parts: list[np.ndarray] = []
+
+    cursor = 0
+    for launch in workload.kernels():
+        kid = len(kernel_names)
+        kernel_names.append(launch.name)
+        kernel_iters.append(launch.iteration)
+        for wave in launch.waves():
+            wave_kernel.append(kid)
+            wave_compute.append(
+                float("nan") if wave.compute_cycles is None
+                else float(wave.compute_cycles))
+            pages_parts.append(wave.pages)
+            write_parts.append(wave.is_write)
+            count_parts.append(wave.counts)
+            cursor += wave.pages.size
+            offsets.append(cursor)
+
+    empty64 = np.empty(0, dtype=np.int64)
+    data = TraceData(
+        alloc_names=[a.name for a in vas.allocations],
+        alloc_sizes=np.array([a.requested_bytes for a in vas.allocations],
+                             dtype=np.int64),
+        alloc_read_only=np.array([a.read_only for a in vas.allocations],
+                                 dtype=bool),
+        alloc_advice=[a.advice.value for a in vas.allocations],
+        kernel_names=kernel_names,
+        kernel_iterations=np.array(kernel_iters, dtype=np.int64),
+        wave_kernel=np.array(wave_kernel, dtype=np.int64),
+        wave_offsets=np.array(offsets, dtype=np.int64),
+        wave_compute=np.array(wave_compute, dtype=np.float64),
+        pages=(np.concatenate(pages_parts) if pages_parts else empty64),
+        is_write=(np.concatenate(write_parts) if write_parts
+                  else np.empty(0, dtype=bool)),
+        counts=(np.concatenate(count_parts) if count_parts else empty64),
+        meta={"workload": workload.name, "seed": seed,
+              "category": workload.category.value},
+    )
+    data.validate()
+    return data
+
+
+def save_trace(data: TraceData, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a trace to ``path`` (``.npz``)."""
+    data.validate()
+    path = pathlib.Path(path)
+    np.savez_compressed(
+        path,
+        version=np.array([data.version]),
+        alloc_names=np.array(data.alloc_names),
+        alloc_sizes=data.alloc_sizes,
+        alloc_read_only=data.alloc_read_only,
+        alloc_advice=np.array(data.alloc_advice),
+        kernel_names=np.array(data.kernel_names),
+        kernel_iterations=data.kernel_iterations,
+        wave_kernel=data.wave_kernel,
+        wave_offsets=data.wave_offsets,
+        wave_compute=data.wave_compute,
+        pages=data.pages,
+        is_write=data.is_write,
+        counts=data.counts,
+        meta_workload=np.array([data.meta.get("workload", "")]),
+        meta_category=np.array([data.meta.get("category", "")]),
+        meta_seed=np.array([data.meta.get("seed", 0)]),
+    )
+    # np.savez appends .npz only when missing; normalize the return.
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def load_trace(path: str | pathlib.Path) -> TraceData:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as z:
+        data = TraceData(
+            alloc_names=[str(s) for s in z["alloc_names"]],
+            alloc_sizes=z["alloc_sizes"],
+            alloc_read_only=z["alloc_read_only"],
+            alloc_advice=[str(s) for s in z["alloc_advice"]],
+            kernel_names=[str(s) for s in z["kernel_names"]],
+            kernel_iterations=z["kernel_iterations"],
+            wave_kernel=z["wave_kernel"],
+            wave_offsets=z["wave_offsets"],
+            wave_compute=z["wave_compute"],
+            pages=z["pages"],
+            is_write=z["is_write"],
+            counts=z["counts"],
+            version=int(z["version"][0]),
+            meta={"workload": str(z["meta_workload"][0]),
+                  "category": str(z["meta_category"][0]),
+                  "seed": int(z["meta_seed"][0])},
+        )
+    data.validate()
+    return data

@@ -1,0 +1,58 @@
+"""Replaying recorded traces as workloads."""
+
+from __future__ import annotations
+
+import math
+import pathlib
+
+import numpy as np
+
+from ..memory.advice import Advice
+from ..workloads.base import Category, KernelLaunch, Wave, Workload
+from .format import TraceData
+from .recorder import load_trace
+
+
+class TraceWorkload(Workload):
+    """A workload that replays a recorded trace verbatim.
+
+    The replay reallocates the trace's allocation table in order, which
+    reproduces the identical virtual layout (the allocator is
+    deterministic), so the recorded page ids remain valid.
+    """
+
+    def __init__(self, trace: TraceData | str | pathlib.Path) -> None:
+        super().__init__()
+        if not isinstance(trace, TraceData):
+            trace = load_trace(trace)
+        trace.validate()
+        self.trace = trace
+        self.name = trace.meta.get("workload") or "trace"
+        cat = trace.meta.get("category", "")
+        self.category = (Category(cat) if cat in
+                         (c.value for c in Category) else Category.IRREGULAR)
+
+    def _allocate(self, vas, rng) -> None:
+        t = self.trace
+        for name, size, ro, adv in zip(t.alloc_names, t.alloc_sizes,
+                                       t.alloc_read_only, t.alloc_advice):
+            self._register(vas.malloc_managed(
+                name, int(size), read_only=bool(ro), advice=Advice(adv)))
+
+    def _waves_for(self, launch_index: int):
+        t = self.trace
+        wave_ids = np.flatnonzero(t.wave_kernel == launch_index)
+        for w in wave_ids:
+            lo, hi = t.wave_offsets[w], t.wave_offsets[w + 1]
+            compute = t.wave_compute[w]
+            yield Wave(t.pages[lo:hi], t.is_write[lo:hi],
+                       counts=t.counts[lo:hi],
+                       compute_cycles=None if math.isnan(compute)
+                       else compute)
+
+    def kernels(self):
+        t = self.trace
+        for kid, (name, it) in enumerate(zip(t.kernel_names,
+                                             t.kernel_iterations)):
+            yield KernelLaunch(name, int(it),
+                               lambda k=kid: self._waves_for(k))

@@ -1,0 +1,32 @@
+"""UVM driver model: residency, counters, prefetcher, replacement, driver."""
+
+from .counters import AccessCounterFile
+from .driver import DriverCounters, UvmDriver, WaveOutcome
+from .eviction import ChunkDirectory, select_victims
+from .prefetchers import (
+    NoPrefetchStrategy,
+    PrefetchStrategy,
+    RandomPrefetchStrategy,
+    SequentialPrefetchStrategy,
+    TreePrefetchStrategy,
+    make_prefetcher,
+)
+from .residency import ResidencyMap
+from .tree import PrefetchTree
+
+__all__ = [
+    "AccessCounterFile",
+    "ChunkDirectory",
+    "DriverCounters",
+    "NoPrefetchStrategy",
+    "PrefetchStrategy",
+    "PrefetchTree",
+    "RandomPrefetchStrategy",
+    "SequentialPrefetchStrategy",
+    "TreePrefetchStrategy",
+    "make_prefetcher",
+    "ResidencyMap",
+    "UvmDriver",
+    "WaveOutcome",
+    "select_victims",
+]

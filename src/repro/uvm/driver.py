@@ -1,0 +1,416 @@
+"""The UVM driver model: far-fault handling, migration, prefetch, eviction.
+
+This is the component the paper modifies ("solely based on pragmatic
+modification to GPU driver", Section IV).  The driver consumes *waves* --
+batches of page accesses issued by concurrently scheduled warps between
+synchronization points -- and resolves every access to one of three
+services:
+
+* **local**: the basic block is device-resident;
+* **remote**: the block stays host-pinned and the access crosses PCIe as
+  a zero-copy transaction;
+* **migration**: the access (a far-fault) pulls the block into device
+  memory, runs the tree prefetcher, and may force evictions.
+
+Which service a far access receives is delegated to a
+:class:`repro.core.policy.DecisionPolicy`; the mechanics (counters,
+trees, replacement, write-back) live here and are shared by every scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import EvictionGranularity, SimulationConfig
+from ..memory.advice import Advice
+from ..core.policy import DecisionPolicy, make_policy
+from ..memory import layout
+from ..memory.allocator import VirtualAddressSpace
+from ..memory.device import DeviceMemory
+from ..memory.host import HostMemory
+from .counters import AccessCounterFile
+from .eviction import ChunkDirectory, select_victims
+from .prefetchers import make_prefetcher
+from .residency import ResidencyMap
+from .tree import PrefetchTree
+
+
+@dataclass
+class WaveOutcome:
+    """Event counts produced by one wave, consumed by the timing model."""
+
+    n_accesses: int = 0
+    #: Accesses served from device-local DRAM.
+    n_local: int = 0
+    #: Accesses served remotely over PCIe (zero copy).
+    n_remote: int = 0
+    #: Far-faults that triggered a block migration.
+    fault_migrations: int = 0
+    #: Far-faults that only established a remote mapping.
+    mapping_faults: int = 0
+    #: 64KB blocks transferred host->device on faults.
+    migrated_blocks: int = 0
+    #: 64KB blocks transferred host->device by the prefetcher.
+    prefetched_blocks: int = 0
+    #: Chunks evicted to make room.
+    evicted_chunks: int = 0
+    #: 64KB blocks released by evictions.
+    evicted_blocks: int = 0
+    #: Dirty blocks written back device->host before release.
+    writeback_blocks: int = 0
+    #: Migrations (fault or prefetch) of a block with round trips > 0.
+    thrash_migrations: int = 0
+
+    @property
+    def fault_events(self) -> int:
+        """Total far-fault events needing driver handling."""
+        return self.fault_migrations + self.mapping_faults
+
+    @property
+    def h2d_blocks(self) -> int:
+        """Total host->device block transfers."""
+        return self.migrated_blocks + self.prefetched_blocks
+
+    def merge(self, other: "WaveOutcome") -> None:
+        """Accumulate ``other`` into this outcome (for aggregation)."""
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass
+class DriverCounters:
+    """Cumulative driver statistics across a whole run."""
+
+    totals: WaveOutcome = field(default_factory=WaveOutcome)
+    waves: int = 0
+    #: Blocks that have thrashed (been re-migrated) at least once.
+    thrashed_block_ids: set[int] = field(default_factory=set)
+
+
+class UvmDriver:
+    """Shared UVM mechanics parameterized by a migrate-vs-remote policy."""
+
+    def __init__(self, vas: VirtualAddressSpace, config: SimulationConfig) -> None:
+        if not vas.allocations:
+            raise ValueError("cannot build a driver over an empty VA space")
+        self.config = config
+        self.vas = vas
+        total_blocks = vas.total_blocks
+        self.residency = ResidencyMap(total_blocks)
+        self.host = HostMemory(total_blocks)
+        self.device = DeviceMemory(config.memory.device_capacity)
+        self.counters = AccessCounterFile(
+            total_blocks,
+            counter_bits=config.policy.counter_bits,
+            roundtrip_bits=config.policy.roundtrip_bits,
+        )
+        self.directory = ChunkDirectory(vas.chunks, total_blocks)
+        self.trees: list[PrefetchTree] = [
+            PrefetchTree(span.num_blocks) for span in vas.chunks
+        ]
+        #: Whether a block has ever been device-resident (drives the
+        #: per-block arming of the Oversub scheme's soft-pinning).
+        self.ever_migrated = np.zeros(total_blocks, dtype=bool)
+        # Programmer placement hints (Section III-C): hard-pinned blocks
+        # never migrate; preferred-host blocks get at least the static
+        # delayed-migration threshold regardless of the active policy.
+        self.block_pinned_host = vas.block_advice(Advice.PINNED_HOST)
+        self.block_preferred_host = vas.block_advice(Advice.PREFERRED_HOST)
+        self.policy: DecisionPolicy = make_policy(config.policy)
+        kind = (config.memory.prefetcher.value
+                if config.memory.prefetcher_enabled else "none")
+        self.prefetcher = make_prefetcher(
+            kind, config.memory.prefetch_degree, seed=config.seed)
+        self.stats = DriverCounters()
+        self._clock = 0  # logical LRU timestamp, bumped per wave
+        # Per-wave caches for LFU victim ordering.
+        self._heat_cache: np.ndarray | None = None
+        self._dirty_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # wave processing
+    # ------------------------------------------------------------------
+
+    def process_wave(self, pages: np.ndarray, is_write: np.ndarray,
+                     counts: np.ndarray | None = None) -> WaveOutcome:
+        """Resolve one wave of page accesses; returns its event counts.
+
+        ``counts`` optionally weights each entry with the number of
+        coalesced accesses it represents (default: one each).
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        if pages.shape != is_write.shape:
+            raise ValueError("pages and is_write must have identical shape")
+        if counts is None:
+            counts = np.ones(pages.shape, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != pages.shape:
+                raise ValueError("counts must match pages in shape")
+        out = WaveOutcome(n_accesses=int(counts.sum()))
+        if pages.size == 0:
+            return out
+        self._clock += 1
+        self._heat_cache = None
+        self._dirty_cache = None
+
+        blocks = pages >> layout.BLOCK_SHIFT
+        ublocks, inv = np.unique(blocks, return_inverse=True)
+        totals = np.bincount(inv, weights=counts,
+                             minlength=ublocks.size).astype(np.int64)
+        w_counts = np.bincount(inv, weights=counts * is_write,
+                               minlength=ublocks.size).astype(np.int64)
+
+        # LRU touch + warp pinning for every addressed chunk.
+        touched_chunks = np.unique(self.directory.chunk_of_block[ublocks])
+        touched_chunks = touched_chunks[touched_chunks >= 0]
+        self.directory.touch(touched_chunks, self._clock)
+        pinned = np.zeros(self.directory.num_chunks, dtype=bool)
+        pinned[touched_chunks] = True
+
+        res_mask = self.residency.resident[ublocks]
+
+        # -- resident blocks: local service ------------------------------
+        out.n_local += int(totals[res_mask].sum())
+        dirty_now = ublocks[res_mask & (w_counts > 0)]
+        if dirty_now.size:
+            self.residency.mark_dirty(dirty_now)
+
+        # -- non-resident blocks: policy decision -------------------------
+        # (Decided against pre-wave counter values, then counters updated.)
+        nr = ~res_mask
+        if np.any(nr):
+            self._handle_far_accesses(ublocks[nr], totals[nr], w_counts[nr],
+                                      pinned, out)
+
+        # Historic counters track local and remote accesses alike (Sec. IV).
+        self.counters.add_accesses(ublocks, totals)
+
+        self.stats.waves += 1
+        self.stats.totals.merge(out)
+        return out
+
+    def _handle_far_accesses(self, nrb: np.ndarray, k: np.ndarray,
+                             kw: np.ndarray, pinned: np.ndarray,
+                             out: WaveOutcome) -> None:
+        """Split far accesses into remote service and migrations."""
+        td, c0 = self.policy.decision_state(nrb, self)
+        td = np.asarray(td, dtype=np.int64)
+        c0 = np.asarray(c0, dtype=np.int64)
+
+        # Programmer hints override the policy (Section III-C).
+        preferred = self.block_preferred_host[nrb]
+        if np.any(preferred):
+            ts = self.config.policy.static_threshold
+            volta = self.counters.volta_counts[nrb]
+            td = np.where(preferred, np.maximum(td, ts), td)
+            c0 = np.where(preferred, volta, c0)
+
+        migrate = (c0 + k) >= td
+        pinned_host = self.block_pinned_host[nrb]
+        if np.any(pinned_host):
+            migrate &= ~pinned_host
+
+        # Accesses served remotely before a (possible) migration trigger.
+        remote_before = np.clip(td - 1 - c0, 0, k - 1)
+        remote = np.where(migrate, remote_before, k)
+        out.n_remote += int(remote.sum())
+        # Volta hardware counters see every remote access.
+        self.counters.add_remote_accesses(nrb, remote)
+
+        # Blocks that stay host-pinned get (or keep) a remote mapping.
+        staying = nrb[~migrate]
+        if staying.size:
+            fresh = staying[~self.host.remote_mapped[staying]]
+            out.mapping_faults += int(fresh.size)
+            self.host.map_remote(staying)
+
+        # Migrations run block-by-block so prefetch and eviction interact
+        # in arrival order, like fault-buffer draining in the real driver.
+        mig = nrb[migrate]
+        mig_k = k[migrate]
+        mig_kw = kw[migrate]
+        mig_remote = remote[migrate]
+        for b, kk, kkw, rr in zip(mig.tolist(), mig_k.tolist(),
+                                  mig_kw.tolist(), mig_remote.tolist()):
+            if self.residency.resident[b]:
+                # A prefetch earlier in this loop already pulled it in.
+                out.n_local += int(kk - rr)
+                if kkw > 0:
+                    self.residency.mark_dirty(np.array([b]))
+                continue
+            if self._migrate_block(int(b), pinned, out):
+                # One access is the fault itself; the rest hit locally.
+                out.n_local += int(kk - rr - 1)
+                if kkw > 0:
+                    self.residency.mark_dirty(np.array([b]))
+            else:
+                # No room even after eviction attempts: serve remotely.
+                extra = int(kk - rr)
+                out.n_remote += extra
+                if not self.host.remote_mapped[b]:
+                    out.mapping_faults += 1
+                    self.host.map_remote(np.array([b]))
+
+    # ------------------------------------------------------------------
+    # migration machinery
+    # ------------------------------------------------------------------
+
+    def _migrate_block(self, block: int, pinned: np.ndarray,
+                       out: WaveOutcome) -> bool:
+        """Fault-migrate ``block``; runs prefetcher; returns success."""
+        cid = int(self.directory.chunk_of_block[block])
+        if cid < 0:
+            raise RuntimeError(f"block {block} belongs to no chunk")
+        never = np.zeros(self.directory.num_chunks, dtype=bool)
+        never[cid] = True
+
+        if not self._make_room(1, pinned, never, out):
+            return False
+        leaf = block - int(self.directory.first_block[cid])
+        tree = self.trees[cid]
+        pf_leaves = self.prefetcher.on_fault(tree, leaf)
+
+        self._install(np.array([block], dtype=np.int64), cid)
+        out.fault_migrations += 1
+        out.migrated_blocks += 1
+        if self.counters.roundtrips[block] > 0:
+            out.thrash_migrations += 1
+            self.stats.thrashed_block_ids.add(block)
+
+        if pf_leaves.size:
+            pf_blocks = int(self.directory.first_block[cid]) + pf_leaves
+            if self._make_room(int(pf_blocks.size), pinned, never, out):
+                self._install(pf_blocks, cid)
+                out.prefetched_blocks += int(pf_blocks.size)
+                thrashy = pf_blocks[self.counters.roundtrips[pf_blocks] > 0]
+                out.thrash_migrations += int(thrashy.size)
+                self.stats.thrashed_block_ids.update(thrashy.tolist())
+            else:
+                # Could not hold the prefetch: roll the leaves back out of
+                # the tree by clearing and re-marking only true residents.
+                self._rebuild_tree(cid)
+        return True
+
+    def _install(self, blocks: np.ndarray, cid: int) -> None:
+        """Claim frames and map ``blocks`` device-resident."""
+        self.device.allocate(int(blocks.size))
+        self.residency.mark_resident(blocks)
+        self.host.migrate_to_device(blocks)
+        self.counters.reset_volta(blocks)
+        self.ever_migrated[blocks] = True
+        self.directory.occupancy[cid] += int(blocks.size)
+        self.directory.touch(np.array([cid]), self._clock)
+
+    def _rebuild_tree(self, cid: int) -> None:
+        """Resynchronize a chunk's tree with the residency map."""
+        tree = self.trees[cid]
+        tree.clear()
+        chunk_blocks = self.directory.blocks_of_chunk(cid)
+        first = int(self.directory.first_block[cid])
+        for b in chunk_blocks[self.residency.resident[chunk_blocks]]:
+            tree.mark_resident(int(b) - first)
+
+    def _make_room(self, n_blocks: int, pinned: np.ndarray,
+                   never: np.ndarray, out: WaveOutcome) -> bool:
+        """Evict until ``n_blocks`` frames are free; False if impossible.
+
+        At the default 2MB granularity whole victim chunks are evicted;
+        at 64KB granularity only as many blocks as needed are evicted
+        from each victim chunk, coldest blocks first.
+        """
+        if self.device.can_fit(n_blocks):
+            return True
+        self.device.note_pressure()
+        needed = n_blocks - self.device.free_blocks
+        heat = dirty = None
+        if self.config.memory.replacement.value == "lfu":
+            if self._heat_cache is None:
+                self._heat_cache = self.directory.chunk_heat_buckets(
+                    self.counters.counts, self.residency.resident)
+                self._dirty_cache = self.directory.chunk_dirty(self.residency.dirty)
+            heat, dirty = self._heat_cache, self._dirty_cache
+        try:
+            victims = select_victims(
+                self.directory, needed, self.config.memory.replacement,
+                pinned, heat=heat, dirty_any=dirty, never=never)
+        except RuntimeError:
+            return False
+        block_granular = (self.config.memory.eviction_granularity
+                          is EvictionGranularity.BLOCK_64KB)
+        for cid in victims:
+            if block_granular:
+                still_needed = n_blocks - self.device.free_blocks
+                if still_needed <= 0:
+                    break
+                self._evict_blocks(cid, still_needed, out)
+            else:
+                self._evict_chunk(cid, out)
+        return self.device.can_fit(n_blocks)
+
+    def _evict_blocks(self, cid: int, n_wanted: int,
+                      out: WaveOutcome) -> None:
+        """Evict up to ``n_wanted`` of chunk ``cid``'s coldest blocks."""
+        chunk_blocks = self.directory.blocks_of_chunk(cid)
+        rblocks = chunk_blocks[self.residency.resident[chunk_blocks]]
+        if rblocks.size == 0:
+            return
+        order = np.argsort(self.counters.counts[rblocks], kind="stable")
+        victims = rblocks[order[:n_wanted]]
+        first = int(self.directory.first_block[cid])
+        tree = self.trees[cid]
+        for b in victims:
+            tree.remove(int(b) - first)
+        n_dirty = self.residency.evict(victims)
+        self.counters.add_roundtrip(victims)
+        self.host.accept_eviction(victims)
+        self.device.release(int(victims.size))
+        self.directory.occupancy[cid] -= int(victims.size)
+        self._dirty_cache = None
+        self._heat_cache = None
+        out.evicted_chunks += int(victims.size == rblocks.size)
+        out.evicted_blocks += int(victims.size)
+        out.writeback_blocks += n_dirty
+
+    def _evict_chunk(self, cid: int, out: WaveOutcome) -> None:
+        """Evict every resident block of chunk ``cid``."""
+        chunk_blocks = self.directory.blocks_of_chunk(cid)
+        rblocks = chunk_blocks[self.residency.resident[chunk_blocks]]
+        if rblocks.size == 0:
+            return
+        n_dirty = self.residency.evict(rblocks)
+        self.counters.add_roundtrip(rblocks)
+        self.host.accept_eviction(rblocks)
+        self.device.release(int(rblocks.size))
+        self.trees[cid].clear()
+        self.directory.occupancy[cid] = 0
+        # Eviction invalidates the per-wave dirty cache for LFU ordering.
+        self._dirty_cache = None
+        self._heat_cache = None
+        out.evicted_chunks += 1
+        out.evicted_blocks += int(rblocks.size)
+        out.writeback_blocks += n_dirty
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Verify cross-structure invariants (used by tests)."""
+        assert self.residency.resident_count == self.device.used_blocks, \
+            "residency map and device ledger disagree"
+        for cid, span in enumerate(self.vas.chunks):
+            chunk_blocks = self.directory.blocks_of_chunk(cid)
+            res = set(np.flatnonzero(
+                self.residency.resident[chunk_blocks]).tolist())
+            tree_res = set(self.trees[cid].resident_leaves().tolist())
+            assert res == tree_res, f"tree/residency mismatch in chunk {cid}"
+            assert self.directory.occupancy[cid] == len(res), \
+                f"occupancy mismatch in chunk {cid}"
+            self.trees[cid].check_invariants()
+        # A block can never be host-valid and device-resident at once.
+        assert not np.any(self.residency.resident & self.host.valid), \
+            "block resident on both host and device"

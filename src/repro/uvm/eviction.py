@@ -1,0 +1,147 @@
+"""Page replacement: 2MB-granular LRU and the framework's simplified LFU.
+
+Replacement works on large chunks (Section II-C): a chunk is preferred as
+a victim only when it is fully populated and not addressed by currently
+scheduled warps (modelled as the chunks the in-flight wave touches).  If
+no full, unpinned chunk exists the selector falls back to partially
+populated chunks, and finally to pinned ones, so forward progress is
+always possible.
+
+Victim ordering:
+
+* **LRU** (baseline): oldest ``last_touch`` first.
+* **LFU** (framework, Section IV "Access Counter Based Page Replacement"):
+  coldest aggregate access count first, read-only (clean) chunks before
+  dirty ones, ties broken by ``last_touch`` -- which makes the policy
+  degenerate to LRU for regular applications whose counters are uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ReplacementPolicy
+from ..memory.allocation import ChunkSpan
+
+
+class ChunkDirectory:
+    """Vectorized per-chunk residency metadata for the whole VA space."""
+
+    def __init__(self, chunks: tuple[ChunkSpan, ...], total_blocks: int) -> None:
+        if not chunks:
+            raise ValueError("VA space has no chunks")
+        self.num_chunks = len(chunks)
+        self.first_block = np.array([c.first_block for c in chunks], dtype=np.int64)
+        self.num_blocks = np.array([c.num_blocks for c in chunks], dtype=np.int64)
+        #: Resident basic blocks per chunk.
+        self.occupancy = np.zeros(self.num_chunks, dtype=np.int64)
+        #: Logical timestamp of the most recent touch (LRU key).
+        self.last_touch = np.zeros(self.num_chunks, dtype=np.int64)
+        #: Map basic block -> owning chunk (-1 in alignment gaps).
+        self.chunk_of_block = np.full(total_blocks, -1, dtype=np.int64)
+        for cid, span in enumerate(chunks):
+            if span.chunk_id != cid:
+                raise ValueError("chunks must be passed in chunk-id order")
+            self.chunk_of_block[span.first_block:span.last_block] = cid
+
+    def blocks_of_chunk(self, chunk_id: int) -> np.ndarray:
+        """Global basic-block indices of one chunk."""
+        first = self.first_block[chunk_id]
+        return np.arange(first, first + self.num_blocks[chunk_id], dtype=np.int64)
+
+    def touch(self, chunk_ids: np.ndarray, now: int) -> None:
+        """Refresh the LRU position of accessed chunks."""
+        self.last_touch[chunk_ids] = now
+
+    def chunk_heat(self, counters: np.ndarray) -> np.ndarray:
+        """Aggregate access count per chunk from the per-block counter file."""
+        valid = self.chunk_of_block >= 0
+        return np.bincount(self.chunk_of_block[valid],
+                           weights=counters[valid].astype(np.float64),
+                           minlength=self.num_chunks)
+
+    def chunk_heat_buckets(self, counters: np.ndarray,
+                           resident: np.ndarray | None = None) -> np.ndarray:
+        """LFU ordering key: log2 bucket of per-block access density.
+
+        The paper's simplified LFU must degenerate to LRU when "pages are
+        accessed with almost the same frequency" (regular applications).
+        Comparing raw sums would break ties on incidental mid-sweep count
+        skew, so chunks are ranked by the binary order of magnitude of
+        their mean per-block access count; within a bucket the LRU
+        timestamp decides.
+
+        When ``resident`` is given, only device-resident blocks
+        contribute -- what matters is the hotness of the pages an
+        eviction would actually displace.
+        """
+        valid = self.chunk_of_block >= 0
+        if resident is not None:
+            valid = valid & resident
+        heat = np.bincount(self.chunk_of_block[valid],
+                           weights=counters[valid].astype(np.float64),
+                           minlength=self.num_chunks)
+        denom = (np.maximum(self.occupancy, 1) if resident is not None
+                 else np.maximum(self.num_blocks, 1))
+        density = heat / denom
+        return np.floor(np.log2(np.maximum(density, 1.0))).astype(np.int64)
+
+    def chunk_dirty(self, dirty: np.ndarray) -> np.ndarray:
+        """True per chunk when any resident block is dirty."""
+        valid = self.chunk_of_block >= 0
+        counts = np.bincount(self.chunk_of_block[valid],
+                             weights=dirty[valid].astype(np.float64),
+                             minlength=self.num_chunks)
+        return counts > 0
+
+
+def select_victims(directory: ChunkDirectory,
+                   needed_blocks: int,
+                   policy: ReplacementPolicy,
+                   pinned: np.ndarray,
+                   heat: np.ndarray | None = None,
+                   dirty_any: np.ndarray | None = None,
+                   never: np.ndarray | None = None) -> list[int]:
+    """Choose chunks to evict until ``needed_blocks`` frames are freed.
+
+    ``pinned`` chunks (addressed by scheduled warps) are avoided but may
+    be reclaimed as a last resort; ``never`` chunks (the chunk a
+    migration is currently filling) are excluded unconditionally.
+
+    Returns chunk ids in eviction order.  Raises ``RuntimeError`` if even
+    evicting everything cannot free enough space (capacity misconfigured).
+    """
+    if needed_blocks <= 0:
+        return []
+    occ = directory.occupancy
+    populated = occ > 0
+    if never is not None:
+        populated = populated & ~never
+    if policy is ReplacementPolicy.LFU:
+        if heat is None or dirty_any is None:
+            raise ValueError("LFU selection needs heat and dirty information")
+        # lexsort: last key is the primary sort key.
+        order = np.lexsort((directory.last_touch, dirty_any.astype(np.int64), heat))
+    else:
+        order = np.argsort(directory.last_touch, kind="stable")
+
+    full = occ == directory.num_blocks
+    victims: list[int] = []
+    freed = 0
+    # Candidate tiers: (full, unpinned) -> (partial, unpinned) -> (any populated).
+    for tier_mask in (populated & full & ~pinned,
+                      populated & ~pinned,
+                      populated):
+        if freed >= needed_blocks:
+            break
+        for cid in order:
+            if freed >= needed_blocks:
+                break
+            if tier_mask[cid] and cid not in victims:
+                victims.append(int(cid))
+                freed += int(occ[cid])
+    if freed < needed_blocks:
+        raise RuntimeError(
+            f"cannot free {needed_blocks} blocks: only {freed} resident"
+        )
+    return victims

@@ -1,0 +1,68 @@
+"""The paper's application suite and workload abstractions.
+
+Regular (dense, sequential, repetitive access): ``backprop``, ``fdtd``,
+``hotspot``, ``srad``.  Irregular (sparse, input-dependent access with a
+hot/cold allocation split): ``bfs``, ``nw``, ``ra``, ``sssp``.
+"""
+
+from .backprop import Backprop, BackpropParams
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload, chunked
+from .bfs import Bfs, BfsParams
+from .fdtd2d import Fdtd2d, FdtdParams
+from .graphs import CsrGraph, random_graph
+from .hotspot import Hotspot, HotspotParams
+from .nw import NeedlemanWunsch, NwParams
+from .pagerank import Pagerank, PagerankParams
+from .ra import RandomAccess, RaParams
+from .spmv import Spmv, SpmvParams
+from .registry import (
+    ALL_WORKLOADS,
+    EXTENDED_WORKLOADS,
+    IRREGULAR_WORKLOADS,
+    REGULAR_WORKLOADS,
+    SCALES,
+    make_workload,
+    workload_category,
+    workload_names,
+)
+from .srad import Srad, SradParams
+from .sssp import Sssp, SsspParams
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "Backprop",
+    "BackpropParams",
+    "Bfs",
+    "BfsParams",
+    "Category",
+    "CsrGraph",
+    "EXTENDED_WORKLOADS",
+    "Fdtd2d",
+    "FdtdParams",
+    "Hotspot",
+    "HotspotParams",
+    "IRREGULAR_WORKLOADS",
+    "KernelLaunch",
+    "NeedlemanWunsch",
+    "NwParams",
+    "Pagerank",
+    "PagerankParams",
+    "RandomAccess",
+    "RaParams",
+    "REGULAR_WORKLOADS",
+    "SCALES",
+    "Spmv",
+    "SpmvParams",
+    "Srad",
+    "SradParams",
+    "Sssp",
+    "SsspParams",
+    "Wave",
+    "WaveBuilder",
+    "Workload",
+    "chunked",
+    "make_workload",
+    "random_graph",
+    "workload_category",
+    "workload_names",
+]

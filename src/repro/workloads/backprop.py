@@ -1,0 +1,106 @@
+"""backprop (Rodinia): neural-network layer training pass.
+
+Regular workload with the paper's distinguishing property: it *scans
+through its allocations sequentially without any data reuse across
+iterations* (Section VI-C explains why backprop shows zero thrashing
+under every scheme).  We model the two GPU kernels so that each large
+array is streamed exactly once: ``layerforward`` reads the input units
+and the input-to-hidden weight matrix while accumulating partial sums,
+and ``adjust_weights`` streams the momentum weight matrix read-write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..memory.layout import KB
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
+from .util import SECTORS_PER_PAGE
+
+
+@dataclass(frozen=True)
+class BackpropParams:
+    """Network dimensions for backprop."""
+
+    input_units: int = 1 << 18
+    hidden_units: int = 16
+    wave_inputs: int = 16384   # input units per wave
+    #: Arithmetic intensity: compute cycles per coalesced access.
+    compute_per_access: float = 3.0
+
+    @property
+    def weights_bytes(self) -> int:
+        """Bytes of one (input x hidden+1) float32 weight matrix."""
+        return self.input_units * (self.hidden_units + 1) * 4
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of the input-unit vector."""
+        return self.input_units * 4
+
+    @property
+    def weight_row_bytes(self) -> int:
+        """Bytes of one input unit's weight row."""
+        return (self.hidden_units + 1) * 4
+
+
+PRESETS: dict[str, BackpropParams] = {
+    "tiny": BackpropParams(input_units=1 << 17, wave_inputs=8192),
+    "small": BackpropParams(input_units=1 << 18, wave_inputs=16384),
+    "medium": BackpropParams(input_units=1 << 20, wave_inputs=16384),
+}
+
+
+class Backprop(Workload):
+    """Single forward + weight-adjust pass; pure streaming, zero reuse."""
+
+    name = "backprop"
+    category = Category.REGULAR
+
+    def __init__(self, params: BackpropParams | None = None) -> None:
+        super().__init__()
+        self.params = params or BackpropParams()
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.input = self._register(
+            vas.malloc_managed("backprop.input_units", p.input_bytes,
+                               read_only=True))
+        self.w1 = self._register(
+            vas.malloc_managed("backprop.input_weights", p.weights_bytes))
+        self.w1_prev = self._register(
+            vas.malloc_managed("backprop.prev_weights", p.weights_bytes))
+        self.partial = self._register(
+            vas.malloc_managed("backprop.partial_sum",
+                               max(p.hidden_units * 1024 * 4, 64 * KB)))
+
+    def _layerforward(self) -> Iterator[Wave]:
+        """Stream input units and the weight matrix once, forward."""
+        p = self.params
+        for i0 in range(0, p.input_units, p.wave_inputs):
+            i1 = min(i0 + p.wave_inputs, p.input_units)
+            wb = WaveBuilder()
+            wb.read(self.input.page_range(i0 * 4, i1 * 4), SECTORS_PER_PAGE)
+            wb.read(self.w1.page_range(i0 * p.weight_row_bytes,
+                                       i1 * p.weight_row_bytes),
+                    SECTORS_PER_PAGE)
+            wb.write(self.partial.page_range(), 4)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def _adjust_weights(self) -> Iterator[Wave]:
+        """Stream the momentum weight matrix once, read-modify-write."""
+        p = self.params
+        for i0 in range(0, p.input_units, p.wave_inputs):
+            i1 = min(i0 + p.wave_inputs, p.input_units)
+            lo = i0 * p.weight_row_bytes
+            hi = i1 * p.weight_row_bytes
+            wb = WaveBuilder()
+            wb.read(self.w1_prev.page_range(lo, hi), SECTORS_PER_PAGE)
+            wb.write(self.w1_prev.page_range(lo, hi), SECTORS_PER_PAGE)
+            wb.read(self.partial.page_range(), 4)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        yield KernelLaunch("backprop.layerforward", 0, self._layerforward)
+        yield KernelLaunch("backprop.adjust_weights", 0, self._adjust_weights)

@@ -1,0 +1,120 @@
+"""bfs (Rodinia): level-synchronous breadth-first search.
+
+Irregular workload: each level reads the CSR node offsets of the current
+frontier, gathers the (scattered) adjacency lists from the large
+read-only edge array, and updates the small cost/flags arrays at random
+neighbor positions.  Which edge pages a level touches depends entirely
+on the input graph -- the statically unpredictable access irregularity
+of Section I.  The cost/flags arrays are hot; the edge array is cold
+with page-level reuse *across* levels, which is what thrashes under
+first-touch migration and a strict memory budget.
+
+The traversal is computed for real on the generated graph; waves are the
+accesses that traversal performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
+from .graphs import CsrGraph, make_graph
+from .util import coalesced_pages, ragged_ranges
+
+
+@dataclass(frozen=True)
+class BfsParams:
+    """Graph dimensions for bfs."""
+
+    num_nodes: int = 1 << 19
+    avg_degree: float = 8.0
+    skew: float = 0.25
+    #: Input family: ``random``, ``rmat`` (heavy-tailed) or ``grid``
+    #: (road-like, long diameter).
+    graph_kind: str = "random"
+    frontier_per_wave: int = 2048
+    #: Arithmetic intensity: effective compute cycles per coalesced
+    #: access (traversal logic plus atomics and divergence stalls).
+    compute_per_access: float = 6.0
+
+
+PRESETS: dict[str, BfsParams] = {
+    "tiny": BfsParams(num_nodes=1 << 17, frontier_per_wave=1024),
+    "small": BfsParams(num_nodes=1 << 19),
+    "medium": BfsParams(num_nodes=1 << 21),
+}
+
+
+class Bfs(Workload):
+    """Frontier-expansion BFS over a synthetic CSR graph."""
+
+    name = "bfs"
+    category = Category.IRREGULAR
+
+    def __init__(self, params: BfsParams | None = None) -> None:
+        super().__init__()
+        self.params = params or BfsParams()
+        self.graph: CsrGraph | None = None
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.graph = make_graph(p.graph_kind, p.num_nodes, p.avg_degree,
+                                rng, skew=p.skew)
+        self._rng = np.random.default_rng(rng.integers(0, 2**63))
+        m = self.graph.num_edges
+        # Lonestar-style layout: per-node {start, degree} struct, 64-bit
+        # edge records, plus cost and visited/mask flags.
+        self.nodes = self._register(
+            vas.malloc_managed("bfs.nodes", p.num_nodes * 8, read_only=True))
+        self.edges = self._register(
+            vas.malloc_managed("bfs.edges", m * 8, read_only=True))
+        self.cost = self._register(
+            vas.malloc_managed("bfs.cost", p.num_nodes * 4))
+        self.flags = self._register(
+            vas.malloc_managed("bfs.flags", p.num_nodes * 4))
+
+    def _level_waves(self, frontier: np.ndarray) -> Iterator[Wave]:
+        """Accesses of one BFS level, chunked into waves."""
+        g, p = self.graph, self.params
+        deg = g.degrees()
+        for c0 in range(0, frontier.size, p.frontier_per_wave):
+            f = frontier[c0:c0 + p.frontier_per_wave]
+            eidx = ragged_ranges(g.ptr[f], deg[f])
+            nbrs = g.dst[eidx].astype(np.int64)
+            wb = WaveBuilder()
+            np_pages, np_counts = coalesced_pages(self.nodes, f * 8)
+            wb.read(np_pages, np_counts)
+            fp, fc = coalesced_pages(self.flags, f * 4)
+            wb.read(fp, fc)
+            if eidx.size:
+                ep, ec = coalesced_pages(self.edges, eidx * 8)
+                wb.read(ep, ec)
+                cp, cc = coalesced_pages(self.cost, nbrs * 4)
+                wb.write(cp, cc)
+                gp, gc = coalesced_pages(self.flags, nbrs * 4)
+                wb.write(gp, gc)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        g = self.graph
+        deg = g.degrees()
+        visited = np.zeros(g.num_nodes, dtype=bool)
+        visited[0] = True
+        frontier = np.array([0], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            yield KernelLaunch(
+                "bfs.kernel", level,
+                lambda f=frontier.copy(): self._level_waves(f))
+            eidx = ragged_ranges(g.ptr[frontier], deg[frontier])
+            nbrs = np.unique(g.dst[eidx].astype(np.int64))
+            nbrs = nbrs[~visited[nbrs]]
+            visited[nbrs] = True
+            # GPU worklists are unordered: neighbors are discovered in
+            # whatever order threads win the visited-flag race, so the
+            # next frontier is processed in scattered, not sorted, order.
+            frontier = self._rng.permutation(nbrs)
+            level += 1

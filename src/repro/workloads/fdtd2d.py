@@ -1,0 +1,104 @@
+"""fdtd-2d (PolyBench): 2-D finite-difference time-domain kernel.
+
+The paper's canonical *regular* application (Figures 2a, 3a/3b): three
+field arrays (``ex``, ``ey``, ``hz``) are swept linearly three times per
+time step, with the same dense, sequential pattern in every iteration.
+Every 128B sector of the touched rows is accessed, so per-page access
+counts are uniform across each allocation -- the flat histogram of
+Figure 2a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..memory.layout import KB
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
+from .util import SECTORS_PER_PAGE
+
+
+@dataclass(frozen=True)
+class FdtdParams:
+    """Problem dimensions for fdtd-2d."""
+
+    ni: int = 1024          # rows
+    nj: int = 2048          # columns (float32 each)
+    iterations: int = 5
+    wave_rows: int = 128    # rows of each array per wave
+    #: Arithmetic intensity: compute cycles per coalesced access.
+    compute_per_access: float = 9.0
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes of one array row."""
+        return self.nj * 4
+
+    @property
+    def array_bytes(self) -> int:
+        """Bytes of one field array."""
+        return self.ni * self.row_bytes
+
+
+PRESETS: dict[str, FdtdParams] = {
+    "tiny": FdtdParams(ni=640, nj=2048, iterations=3, wave_rows=64),
+    "small": FdtdParams(ni=1024, nj=2048, iterations=5, wave_rows=128),
+    "medium": FdtdParams(ni=2048, nj=4096, iterations=5, wave_rows=128),
+}
+
+
+class Fdtd2d(Workload):
+    """Three linear field sweeps per time step over ex/ey/hz."""
+
+    name = "fdtd"
+    category = Category.REGULAR
+
+    def __init__(self, params: FdtdParams | None = None) -> None:
+        super().__init__()
+        self.params = params or FdtdParams()
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.ex = self._register(vas.malloc_managed("fdtd.ex", p.array_bytes))
+        self.ey = self._register(vas.malloc_managed("fdtd.ey", p.array_bytes))
+        self.hz = self._register(vas.malloc_managed("fdtd.hz", p.array_bytes))
+        self.fict = self._register(
+            vas.malloc_managed("fdtd.fict",
+                               max(p.iterations * 4, 4 * KB), read_only=True))
+
+    def _sweep(self, reads, writes, with_fict: bool = False) -> Iterator[Wave]:
+        """Linear row sweep: dense sector reads/writes per wave."""
+        p = self.params
+        for r0 in range(0, p.ni, p.wave_rows):
+            r1 = min(r0 + p.wave_rows, p.ni)
+            wb = WaveBuilder()
+            for alloc in reads:
+                pages = alloc.page_range(r0 * p.row_bytes, r1 * p.row_bytes)
+                wb.read(pages, SECTORS_PER_PAGE)
+            if with_fict:
+                wb.read(self.fict.page_range(0, 4), 1)
+            for alloc in writes:
+                pages = alloc.page_range(r0 * p.row_bytes, r1 * p.row_bytes)
+                wb.write(pages, SECTORS_PER_PAGE)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        p = self.params
+        for t in range(p.iterations):
+            # kernel1: ey[i][j] = ey[i][j] - 0.5*(hz[i][j] - hz[i-1][j])
+            yield KernelLaunch(
+                "fdtd.update_ey", t,
+                lambda: self._sweep(reads=[self.ey, self.hz],
+                                    writes=[self.ey], with_fict=True))
+            # kernel2: ex[i][j] = ex[i][j] - 0.5*(hz[i][j] - hz[i][j-1])
+            yield KernelLaunch(
+                "fdtd.update_ex", t,
+                lambda: self._sweep(reads=[self.ex, self.hz],
+                                    writes=[self.ex]))
+            # kernel3: hz[i][j] -= 0.7*(ex[.] - ex[.] + ey[.] - ey[.])
+            yield KernelLaunch(
+                "fdtd.update_hz", t,
+                lambda: self._sweep(reads=[self.ex, self.ey, self.hz],
+                                    writes=[self.hz]))

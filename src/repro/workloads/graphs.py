@@ -1,0 +1,208 @@
+"""Synthetic graph inputs for the irregular workloads (bfs, sssp).
+
+The paper's irregular benchmarks come from Rodinia and LonestarGPU and
+run on large sparse graphs.  We generate comparable inputs: a CSR graph
+with either uniform-random or skewed (power-law-ish, R-MAT flavored)
+destination distribution.  The skew matters: it concentrates accesses on
+a few hot pages, the hot/cold split Figure 2b visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """Compressed sparse row adjacency with edge weights."""
+
+    ptr: np.ndarray     # int64, shape (n+1,)
+    dst: np.ndarray     # int32, shape (m,)
+    weights: np.ndarray  # float32, shape (m,)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices."""
+        return self.ptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self.dst.size
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree per node."""
+        return np.diff(self.ptr)
+
+    def validate(self) -> None:
+        """Check CSR structural invariants (used by tests)."""
+        if self.ptr[0] != 0 or self.ptr[-1] != self.dst.size:
+            raise AssertionError("CSR pointer array endpoints invalid")
+        if np.any(np.diff(self.ptr) < 0):
+            raise AssertionError("CSR pointers must be nondecreasing")
+        if self.dst.size and (self.dst.min() < 0
+                              or self.dst.max() >= self.num_nodes):
+            raise AssertionError("edge destination out of range")
+        if self.weights.shape != self.dst.shape:
+            raise AssertionError("weights must parallel destinations")
+
+
+def random_graph(num_nodes: int, avg_degree: float,
+                 rng: np.random.Generator, skew: float = 0.0,
+                 connect_chain: bool = True) -> CsrGraph:
+    """Generate a random directed CSR graph.
+
+    ``skew`` in [0, 1) biases destinations toward low node ids with a
+    power-law-like distribution (0 = uniform), mimicking the hub
+    structure of R-MAT/social graphs.  ``connect_chain`` threads a
+    Hamiltonian-ish chain through the nodes so BFS/SSSP from node 0
+    reaches everything regardless of the random part.
+    """
+    if num_nodes < 2:
+        raise ValueError("graph needs at least two nodes")
+    if avg_degree < 1.0:
+        raise ValueError("average degree must be >= 1")
+    if not 0.0 <= skew < 1.0:
+        raise ValueError("skew must be in [0, 1)")
+
+    # Random out-degrees with the requested mean (at least the chain edge).
+    extra = rng.poisson(avg_degree - 1.0, size=num_nodes)
+    degrees = 1 + extra
+    m = int(degrees.sum())
+    ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=ptr[1:])
+
+    if skew > 0.0:
+        # Inverse-CDF sampling of a truncated power law over node ids.
+        u = rng.random(m)
+        alpha = 1.0 - skew
+        dst = (num_nodes * u ** (1.0 / alpha)).astype(np.int64)
+        dst = np.minimum(dst, num_nodes - 1)
+        # Scatter hubs across the id space so hot pages are not one run.
+        dst = (dst * 2654435761) % num_nodes
+    else:
+        dst = rng.integers(0, num_nodes, size=m, dtype=np.int64)
+
+    if connect_chain:
+        # First edge of every node points to the next node id.
+        dst[ptr[:-1]] = (np.arange(num_nodes, dtype=np.int64) + 1) % num_nodes
+
+    weights = rng.random(m, dtype=np.float32) * 99.0 + 1.0
+    return CsrGraph(ptr=ptr, dst=dst.astype(np.int32), weights=weights)
+
+
+def rmat_graph(num_nodes: int, avg_degree: float,
+               rng: np.random.Generator,
+               a: float = 0.57, b: float = 0.19, c: float = 0.19,
+               connect_chain: bool = True) -> CsrGraph:
+    """Generate an R-MAT graph (the Graph500/Lonestar input family).
+
+    Each edge endpoint is drawn by recursively descending a 2x2
+    quadrant matrix with probabilities ``(a, b, c, 1-a-b-c)``; the
+    result has the heavy-tailed degree distribution of social and web
+    graphs.  ``num_nodes`` must be a power of two.
+    """
+    if num_nodes < 2 or num_nodes & (num_nodes - 1):
+        raise ValueError("R-MAT needs a power-of-two node count")
+    if min(a, b, c) < 0 or a + b + c >= 1.0:
+        raise ValueError("quadrant probabilities must be in [0,1) and "
+                         "sum below 1")
+    levels = num_nodes.bit_length() - 1
+    m = int(num_nodes * avg_degree)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _ in range(levels):
+        r = rng.random(m)
+        # Quadrants: a -> (0,0), b -> (0,1), c -> (1,0), d -> (1,1).
+        right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        down = r >= a + b
+        src = (src << 1) | down.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=num_nodes), out=ptr[1:])
+    weights = rng.random(m, dtype=np.float32) * 99.0 + 1.0
+    graph = CsrGraph(ptr=ptr, dst=dst.astype(np.int32), weights=weights)
+    if connect_chain:
+        graph = _with_chain(graph, rng)
+    return graph
+
+
+def grid_graph(width: int, height: int,
+               rng: np.random.Generator) -> CsrGraph:
+    """Generate a 4-neighbor lattice (road-network-like input).
+
+    Grid graphs have O(width + height) diameter, so BFS/SSSP run many
+    small frontiers -- the opposite regime from R-MAT's two giant
+    levels.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    n = width * height
+    ids = np.arange(n, dtype=np.int64)
+    x, y = ids % width, ids // width
+    neighbors = []
+    sources = []
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ok = ((0 <= x + dx) & (x + dx < width)
+              & (0 <= y + dy) & (y + dy < height))
+        sources.append(ids[ok])
+        neighbors.append(ids[ok] + dx + dy * width)
+    src = np.concatenate(sources)
+    dst = np.concatenate(neighbors)
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=ptr[1:])
+    weights = rng.random(src.size, dtype=np.float32) * 99.0 + 1.0
+    return CsrGraph(ptr=ptr, dst=dst.astype(np.int32), weights=weights)
+
+
+def _with_chain(graph: CsrGraph, rng: np.random.Generator) -> CsrGraph:
+    """Overwrite each node's first edge with a chain edge (reachability).
+
+    Nodes with no out-edges get one appended instead.
+    """
+    n = graph.num_nodes
+    deg = graph.degrees()
+    chain = (np.arange(n, dtype=np.int64) + 1) % n
+    dst = graph.dst.copy()
+    has_edges = deg > 0
+    dst[graph.ptr[:-1][has_edges]] = chain[has_edges]
+    if np.all(has_edges):
+        return CsrGraph(ptr=graph.ptr, dst=dst, weights=graph.weights)
+    # Append one edge for isolated nodes and rebuild CSR.
+    extra_src = np.flatnonzero(~has_edges).astype(np.int64)
+    src_full = np.repeat(np.arange(n, dtype=np.int64), deg)
+    src_all = np.concatenate([src_full, extra_src])
+    dst_all = np.concatenate([dst.astype(np.int64), chain[extra_src]])
+    w_all = np.concatenate([
+        graph.weights,
+        rng.random(extra_src.size, dtype=np.float32) * 99.0 + 1.0])
+    order = np.argsort(src_all, kind="stable")
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src_all, minlength=n), out=ptr[1:])
+    return CsrGraph(ptr=ptr, dst=dst_all[order].astype(np.int32),
+                    weights=w_all[order])
+
+
+def make_graph(kind: str, num_nodes: int, avg_degree: float,
+               rng: np.random.Generator, skew: float = 0.25) -> CsrGraph:
+    """Build a graph by family name: ``random``, ``rmat`` or ``grid``.
+
+    For ``grid``, ``num_nodes`` is rounded to the nearest square and
+    ``avg_degree`` is ignored (lattices have degree <= 4).
+    """
+    if kind == "random":
+        return random_graph(num_nodes, avg_degree, rng, skew=skew)
+    if kind == "rmat":
+        n = 1 << (num_nodes - 1).bit_length()
+        return rmat_graph(n, avg_degree, rng)
+    if kind == "grid":
+        side = max(2, int(round(num_nodes ** 0.5)))
+        return grid_graph(side, side, rng)
+    raise ValueError(f"unknown graph kind {kind!r}")

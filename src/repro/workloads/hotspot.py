@@ -1,0 +1,91 @@
+"""hotspot (Rodinia): iterative 2-D thermal simulation.
+
+Regular workload: each time step reads the temperature grid (five-point
+stencil) and the static power grid, and writes the next temperature
+grid.  Source and destination grids swap every iteration (ping-pong
+buffering), so both are read-write over the run while ``power`` stays
+read-only -- dense, sequential, repeated sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
+from .util import SECTORS_PER_PAGE
+
+
+@dataclass(frozen=True)
+class HotspotParams:
+    """Problem dimensions for hotspot."""
+
+    rows: int = 1536
+    cols: int = 2048
+    iterations: int = 6
+    wave_rows: int = 128
+    #: Effective sector reads per temperature page per step: the 5-point
+    #: stencil re-reads neighbor rows, ~2x after cache coalescing.
+    stencil_read_factor: int = 2
+    #: Arithmetic intensity: compute cycles per coalesced access (the
+    #: per-cell update is the most math-heavy of the regular suite).
+    compute_per_access: float = 27.0
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes of one grid row (float32)."""
+        return self.cols * 4
+
+    @property
+    def array_bytes(self) -> int:
+        """Bytes of one grid."""
+        return self.rows * self.row_bytes
+
+
+PRESETS: dict[str, HotspotParams] = {
+    "tiny": HotspotParams(rows=1280, cols=1024, iterations=3, wave_rows=64),
+    "small": HotspotParams(rows=1536, cols=2048, iterations=6, wave_rows=128),
+    "medium": HotspotParams(rows=3072, cols=4096, iterations=6, wave_rows=192),
+}
+
+
+class Hotspot(Workload):
+    """Ping-pong stencil over temp grids plus a read-only power grid."""
+
+    name = "hotspot"
+    category = Category.REGULAR
+
+    def __init__(self, params: HotspotParams | None = None) -> None:
+        super().__init__()
+        self.params = params or HotspotParams()
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.temp = [
+            self._register(vas.malloc_managed("hotspot.temp0", p.array_bytes)),
+            self._register(vas.malloc_managed("hotspot.temp1", p.array_bytes)),
+        ]
+        self.power = self._register(
+            vas.malloc_managed("hotspot.power", p.array_bytes, read_only=True))
+
+    def _step(self, src, dst) -> Iterator[Wave]:
+        p = self.params
+        for r0 in range(0, p.rows, p.wave_rows):
+            r1 = min(r0 + p.wave_rows, p.rows)
+            lo, hi = r0 * p.row_bytes, r1 * p.row_bytes
+            wb = WaveBuilder()
+            wb.read(src.page_range(lo, hi),
+                    SECTORS_PER_PAGE * p.stencil_read_factor)
+            wb.read(self.power.page_range(lo, hi), SECTORS_PER_PAGE)
+            wb.write(dst.page_range(lo, hi), SECTORS_PER_PAGE)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        p = self.params
+        for t in range(p.iterations):
+            src, dst = self.temp[t % 2], self.temp[(t + 1) % 2]
+            yield KernelLaunch(
+                "hotspot.calculate_temp", t,
+                lambda src=src, dst=dst: self._step(src, dst))

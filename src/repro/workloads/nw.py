@@ -1,0 +1,106 @@
+"""nw (Rodinia): Needleman-Wunsch sequence alignment.
+
+Irregular workload: the dynamic-programming matrix is processed in
+16x16 tiles along anti-diagonals.  A tile reads its reference-matrix
+tile and the boundary of previously computed neighbors, then fills its
+own cells.  In row-major memory a tile's rows are 64-byte segments
+strided a full matrix row apart, so one wave touches many pages with few
+accesses each, and a given page is revisited across ~64 subsequent
+diagonals -- large reuse distances with sparse per-visit traffic, which
+is what thrashes under a strict memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
+from .util import dedupe_with_counts
+
+
+@dataclass(frozen=True)
+class NwParams:
+    """Alignment dimensions for nw."""
+
+    #: Sequence length; the DP matrix is (n+1) x (n+1) int32.
+    n: int = 2048
+    tile: int = 16
+    #: Anti-diagonals processed per wave (tiles of those diagonals).
+    diagonals_per_wave: int = 1
+    #: Arithmetic intensity: compute cycles per coalesced access.
+    compute_per_access: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n % self.tile:
+            raise ValueError("n must be a multiple of the tile size")
+
+    @property
+    def dim(self) -> int:
+        """Matrix dimension (n + 1)."""
+        return self.n + 1
+
+    @property
+    def matrix_bytes(self) -> int:
+        """Bytes of one (n+1)^2 int32 matrix."""
+        return self.dim * self.dim * 4
+
+
+PRESETS: dict[str, NwParams] = {
+    "tiny": NwParams(n=1152),
+    "small": NwParams(n=2048),
+    "medium": NwParams(n=4096),
+}
+
+
+class NeedlemanWunsch(Workload):
+    """Anti-diagonal tile wavefront over the DP and reference matrices."""
+
+    name = "nw"
+    category = Category.IRREGULAR
+
+    def __init__(self, params: NwParams | None = None) -> None:
+        super().__init__()
+        self.params = params or NwParams()
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.matrix = self._register(
+            vas.malloc_managed("nw.input_itemsets", p.matrix_bytes))
+        self.reference = self._register(
+            vas.malloc_managed("nw.reference", p.matrix_bytes,
+                               read_only=True))
+
+    def _tile_pages(self, tile_i: np.ndarray, tile_j: np.ndarray,
+                    alloc) -> tuple[np.ndarray, np.ndarray]:
+        """Deduped pages+counts of the 16-row x 64B segments of tiles."""
+        p = self.params
+        rows = (tile_i[:, None] * p.tile + 1 + np.arange(p.tile)).ravel()
+        cols = np.repeat(tile_j * p.tile + 1, p.tile)
+        offsets = (rows.astype(np.int64) * p.dim + cols) * 4
+        return dedupe_with_counts(alloc.pages_of(offsets))
+
+    def _diagonal_waves(self) -> Iterator[Wave]:
+        p = self.params
+        nb = p.n // p.tile
+        for d0 in range(0, 2 * nb - 1, p.diagonals_per_wave):
+            wb = WaveBuilder()
+            for d in range(d0, min(d0 + p.diagonals_per_wave, 2 * nb - 1)):
+                lo = max(0, d - nb + 1)
+                hi = min(d, nb - 1)
+                ti = np.arange(lo, hi + 1, dtype=np.int64)
+                tj = d - ti
+                rp, rc = self._tile_pages(ti, tj, self.reference)
+                wb.read(rp, rc)
+                mp, mc = self._tile_pages(ti, tj, self.matrix)
+                # Each DP cell reads the left/top/diag neighbors (mostly
+                # in-tile) and writes itself: ~2 reads + 1 write per
+                # 64B segment.
+                wb.read(mp, 2 * mc)
+                wb.write(mp, mc)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        yield KernelLaunch("nw.needle", 0, self._diagonal_waves)

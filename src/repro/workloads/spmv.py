@@ -1,0 +1,106 @@
+"""spmv (extended suite): sparse matrix-vector multiplication.
+
+Not part of the paper's eight benchmarks -- included as the
+scatter/gather archetype the Spatter suite (cited in related work)
+characterizes.  Each iteration streams the CSR matrix (values + column
+indices) sequentially -- a large, dense, read-once pattern -- while
+gathering the input vector at the column positions (sparse, reused
+across rows) and writing the output vector densely.  The interesting
+tension: the *matrix* is huge but streaming (migration-friendly), the
+*vector* is small but randomly gathered (counter-friendly); a good
+policy treats them oppositely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
+from .util import SECTORS_PER_PAGE, coalesced_pages
+
+
+@dataclass(frozen=True)
+class SpmvParams:
+    """Matrix dimensions for spmv."""
+
+    rows: int = 1 << 17
+    nnz_per_row: int = 24
+    iterations: int = 3
+    rows_per_wave: int = 1024
+    #: Arithmetic intensity: compute cycles per coalesced access.
+    compute_per_access: float = 2.0
+
+    @property
+    def nnz(self) -> int:
+        """Total stored nonzeros."""
+        return self.rows * self.nnz_per_row
+
+
+PRESETS: dict[str, SpmvParams] = {
+    "tiny": SpmvParams(rows=1 << 16, nnz_per_row=16, rows_per_wave=512),
+    "small": SpmvParams(rows=1 << 17),
+    "medium": SpmvParams(rows=1 << 19),
+}
+
+
+class Spmv(Workload):
+    """CSR y = A·x with a streamed matrix and a gathered vector."""
+
+    name = "spmv"
+    category = Category.IRREGULAR
+
+    def __init__(self, params: SpmvParams | None = None) -> None:
+        super().__init__()
+        self.params = params or SpmvParams()
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.values = self._register(vas.malloc_managed(
+            "spmv.values", p.nnz * 8, read_only=True))
+        self.colidx = self._register(vas.malloc_managed(
+            "spmv.colidx", p.nnz * 4, read_only=True))
+        self.x = self._register(vas.malloc_managed(
+            "spmv.x", p.rows * 8, read_only=True))
+        self.y = self._register(vas.malloc_managed(
+            "spmv.y", p.rows * 8))
+        # Column indices: banded plus random long-range entries, the
+        # structure of discretization matrices with coupling terms.
+        self._rng = np.random.default_rng(rng.integers(0, 2**63))
+
+    def _row_columns(self, rows: np.ndarray) -> np.ndarray:
+        """Column gather positions for a block of rows (computed live)."""
+        p = self.params
+        n = rows.size * p.nnz_per_row
+        base = np.repeat(rows, p.nnz_per_row)
+        local = self._rng.integers(-64, 65, size=n)
+        longr = self._rng.integers(0, p.rows, size=n)
+        take_long = self._rng.random(n) < 0.25
+        cols = np.where(take_long, longr, np.clip(base + local, 0,
+                                                  p.rows - 1))
+        return cols.astype(np.int64)
+
+    def _sweep(self) -> Iterator[Wave]:
+        p = self.params
+        for r0 in range(0, p.rows, p.rows_per_wave):
+            rows = np.arange(r0, min(r0 + p.rows_per_wave, p.rows),
+                             dtype=np.int64)
+            lo = r0 * p.nnz_per_row
+            hi = int(rows[-1] + 1) * p.nnz_per_row
+            wb = WaveBuilder()
+            wb.read(self.values.page_range(lo * 8, hi * 8),
+                    SECTORS_PER_PAGE)
+            wb.read(self.colidx.page_range(lo * 4, hi * 4),
+                    SECTORS_PER_PAGE)
+            cols = self._row_columns(rows)
+            xpg, xpc = coalesced_pages(self.x, cols * 8)
+            wb.read(xpg, xpc)
+            ypg, ypc = coalesced_pages(self.y, rows * 8)
+            wb.write(ypg, ypc)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        for it in range(self.params.iterations):
+            yield KernelLaunch("spmv.csr_kernel", it, self._sweep)

@@ -1,0 +1,103 @@
+"""srad (Rodinia): speckle-reducing anisotropic diffusion.
+
+Regular workload with a larger allocation count: two kernels alternate
+per iteration.  ``srad1`` reads the image ``J`` and writes the diffusion
+coefficient ``c`` plus four directional derivative grids; ``srad2``
+reads the coefficient and derivatives back and updates ``J`` in place.
+All six grids are swept densely and sequentially every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
+from .util import SECTORS_PER_PAGE
+
+
+@dataclass(frozen=True)
+class SradParams:
+    """Problem dimensions for srad."""
+
+    rows: int = 1024
+    cols: int = 1536
+    iterations: int = 4
+    wave_rows: int = 128
+    #: srad1 reads J with a 4-neighbor stencil (~2x sector traffic).
+    stencil_read_factor: int = 2
+    #: Arithmetic intensity: compute cycles per coalesced access.
+    compute_per_access: float = 7.0
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes of one grid row (float32)."""
+        return self.cols * 4
+
+    @property
+    def array_bytes(self) -> int:
+        """Bytes of one grid."""
+        return self.rows * self.row_bytes
+
+
+PRESETS: dict[str, SradParams] = {
+    "tiny": SradParams(rows=640, cols=1024, iterations=3, wave_rows=64),
+    "small": SradParams(rows=1024, cols=1536, iterations=4, wave_rows=128),
+    "medium": SradParams(rows=2048, cols=3072, iterations=4, wave_rows=128),
+}
+
+
+class Srad(Workload):
+    """Two dense kernels per iteration over J, c and four derivative grids."""
+
+    name = "srad"
+    category = Category.REGULAR
+
+    def __init__(self, params: SradParams | None = None) -> None:
+        super().__init__()
+        self.params = params or SradParams()
+
+    def _allocate(self, vas, rng) -> None:
+        p = self.params
+        self.J = self._register(vas.malloc_managed("srad.J", p.array_bytes))
+        self.c = self._register(vas.malloc_managed("srad.c", p.array_bytes))
+        self.dirs = [
+            self._register(vas.malloc_managed(f"srad.d{d}", p.array_bytes))
+            for d in ("N", "S", "E", "W")
+        ]
+
+    def _rows(self, r0: int, r1: int, alloc):
+        p = self.params
+        return alloc.page_range(r0 * p.row_bytes, r1 * p.row_bytes)
+
+    def _srad1(self) -> Iterator[Wave]:
+        """Read J (stencil), write c and the four derivative grids."""
+        p = self.params
+        for r0 in range(0, p.rows, p.wave_rows):
+            r1 = min(r0 + p.wave_rows, p.rows)
+            wb = WaveBuilder()
+            wb.read(self._rows(r0, r1, self.J),
+                    SECTORS_PER_PAGE * p.stencil_read_factor)
+            wb.write(self._rows(r0, r1, self.c), SECTORS_PER_PAGE)
+            for d in self.dirs:
+                wb.write(self._rows(r0, r1, d), SECTORS_PER_PAGE)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def _srad2(self) -> Iterator[Wave]:
+        """Read c (stencil) and derivatives, update J in place."""
+        p = self.params
+        for r0 in range(0, p.rows, p.wave_rows):
+            r1 = min(r0 + p.wave_rows, p.rows)
+            wb = WaveBuilder()
+            wb.read(self._rows(r0, r1, self.c),
+                    SECTORS_PER_PAGE * p.stencil_read_factor)
+            for d in self.dirs:
+                wb.read(self._rows(r0, r1, d), SECTORS_PER_PAGE)
+            wb.read(self._rows(r0, r1, self.J), SECTORS_PER_PAGE)
+            wb.write(self._rows(r0, r1, self.J), SECTORS_PER_PAGE)
+            yield wb.build(compute_per_access=p.compute_per_access)
+
+    def kernels(self) -> Iterator[KernelLaunch]:
+        for t in range(self.params.iterations):
+            yield KernelLaunch("srad.srad1", t, self._srad1)
+            yield KernelLaunch("srad.srad2", t, self._srad2)

@@ -1,0 +1,69 @@
+"""Shared helpers for workload access-pattern generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory.layout import PAGE_SIZE
+
+#: Coalesced 128B sectors per 4KB page -- a dense sweep touches each
+#: sector of a page once, i.e. 32 accesses per page.
+SECTORS_PER_PAGE: int = PAGE_SIZE // 128
+
+
+def ragged_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i]+lengths[i])`` efficiently.
+
+    The CSR neighbor-gather primitive: given per-node adjacency offsets
+    and degrees, returns the edge indices of all nodes without a Python
+    loop.  Zero-length entries are allowed.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if starts.shape != lengths.shape:
+        raise ValueError("starts and lengths must have identical shape")
+    if lengths.size and lengths.min() < 0:
+        raise ValueError("lengths cannot be negative")
+    nz = lengths > 0
+    starts, lengths = starts[nz], lengths[nz]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    ends = np.cumsum(lengths)
+    boundaries = ends[:-1]
+    out[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)
+
+
+def dedupe_with_counts(pages: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate page entries into ``(unique_pages, counts)``."""
+    pages = np.asarray(pages, dtype=np.int64)
+    if pages.size == 0:
+        return pages, np.empty(0, dtype=np.int64)
+    uniq, counts = np.unique(pages, return_counts=True)
+    return uniq, counts.astype(np.int64)
+
+
+SECTOR_SHIFT: int = 7  # 128-byte coalescing sectors
+
+
+def coalesced_pages(alloc, byte_offsets: np.ndarray,
+                    accesses_per_sector: int = 1
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Pages and access counts after 128B coalescing.
+
+    The GMMU observes one TLB lookup per coalesced 128-byte transaction,
+    not one per scalar load: a warp gathering eight consecutive 8-byte
+    edge records issues a single access.  This maps element byte offsets
+    to unique sectors, then aggregates sector counts per page -- the
+    access stream the hardware access counters actually see.
+    """
+    offs = np.asarray(byte_offsets, dtype=np.int64)
+    if offs.size == 0:
+        return offs, offs
+    sectors = np.unique(offs >> SECTOR_SHIFT)
+    pages = alloc.pages_of(sectors << SECTOR_SHIFT)
+    upages, ucounts = dedupe_with_counts(pages)
+    return upages, ucounts * accesses_per_sector

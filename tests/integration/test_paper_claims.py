@@ -1,0 +1,114 @@
+"""Integration tests: the paper's qualitative claims, at tiny scale.
+
+Each test pins one sentence of the paper's evaluation to simulator
+behaviour.  Tiny-scale runs keep the suite fast; the full-scale numbers
+live in the benchmark harness (benchmarks/ and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import MigrationPolicy, SimulationConfig, Simulator
+from repro.workloads import (
+    IRREGULAR_WORKLOADS,
+    REGULAR_WORKLOADS,
+    make_workload,
+)
+
+
+def run(name, policy, oversub, scale="tiny", ts=8, p=8, seed=0):
+    cfg = SimulationConfig(seed=seed).with_policy(
+        policy, static_threshold=ts, migration_penalty=p)
+    return Simulator(cfg).run(make_workload(name, scale),
+                              oversubscription=oversub)
+
+
+class TestOversubscriptionHurts:
+    """Figure 1: oversubscription degrades the baseline."""
+
+    @pytest.mark.parametrize("name", ["fdtd", "srad", "nw", "ra", "sssp"])
+    def test_125_slower_than_fitting(self, name):
+        base = run(name, MigrationPolicy.DISABLED, 0.8)
+        over = run(name, MigrationPolicy.DISABLED, 1.25)
+        assert over.total_cycles > base.total_cycles
+
+    def test_irregular_degrades_worse_than_regular(self):
+        """ra suffers an order of magnitude; fdtd only a factor."""
+        fdtd = (run("fdtd", MigrationPolicy.DISABLED, 1.25).total_cycles
+                / run("fdtd", MigrationPolicy.DISABLED, 0.8).total_cycles)
+        ra = (run("ra", MigrationPolicy.DISABLED, 1.25).total_cycles
+              / run("ra", MigrationPolicy.DISABLED, 0.8).total_cycles)
+        assert ra > 3 * fdtd
+
+    def test_backprop_immune(self):
+        """backprop streams with zero reuse: minimal oversub penalty."""
+        base = run("backprop", MigrationPolicy.DISABLED, 0.8)
+        over = run("backprop", MigrationPolicy.DISABLED, 1.25)
+        assert over.total_cycles <= 1.4 * base.total_cycles
+
+
+class TestThrashing:
+    """Figure 7 mechanics."""
+
+    def test_backprop_never_thrashes(self):
+        for pol in MigrationPolicy:
+            r = run("backprop", pol, 1.25)
+            assert r.pages_thrashed == 0, pol
+
+    @pytest.mark.parametrize("name", ["ra", "nw"])
+    def test_adaptive_reduces_thrashing(self, name):
+        base = run(name, MigrationPolicy.DISABLED, 1.25)
+        adap = run(name, MigrationPolicy.ADAPTIVE, 1.25)
+        assert base.pages_thrashed > 0
+        assert adap.pages_thrashed < base.pages_thrashed
+
+
+class TestAdaptiveScheme:
+    """Figures 5, 6 and 8."""
+
+    @pytest.mark.parametrize("name", REGULAR_WORKLOADS)
+    def test_regular_apps_unaffected_at_oversubscription(self, name):
+        base = run(name, MigrationPolicy.DISABLED, 1.25)
+        adap = run(name, MigrationPolicy.ADAPTIVE, 1.25)
+        assert adap.total_cycles <= 1.15 * base.total_cycles
+
+    @pytest.mark.parametrize("name", REGULAR_WORKLOADS + IRREGULAR_WORKLOADS)
+    def test_no_oversubscription_matches_baseline(self, name):
+        """Adaptive tracks the baseline when working sets fit (Fig. 5)."""
+        base = run(name, MigrationPolicy.DISABLED, 0.8)
+        adap = run(name, MigrationPolicy.ADAPTIVE, 0.8)
+        assert adap.total_cycles <= 1.3 * base.total_cycles
+
+    def test_ra_improves_under_adaptive(self):
+        """The headline case: RandomAccess wins big (Fig. 6)."""
+        base = run("ra", MigrationPolicy.DISABLED, 1.25)
+        adap = run("ra", MigrationPolicy.ADAPTIVE, 1.25)
+        assert adap.total_cycles < 0.6 * base.total_cycles
+
+    def test_adaptive_beats_or_matches_static_schemes_on_ra(self):
+        base = run("ra", MigrationPolicy.DISABLED, 1.25)
+        always = run("ra", MigrationPolicy.ALWAYS, 1.25)
+        adap = run("ra", MigrationPolicy.ADAPTIVE, 1.25)
+        assert adap.total_cycles <= always.total_cycles
+        assert adap.total_cycles < base.total_cycles
+
+    def test_oversub_scheme_useless_for_ra(self):
+        """Blocks flood in before pressure: Oversub ~= baseline (Fig. 6)."""
+        base = run("ra", MigrationPolicy.DISABLED, 1.25)
+        over = run("ra", MigrationPolicy.OVERSUB, 1.25)
+        assert abs(over.total_cycles / base.total_cycles - 1.0) < 0.15
+
+    def test_penalty_monotone_for_ra(self):
+        """Figure 8: larger p pins harder and helps ra."""
+        times = [run("ra", MigrationPolicy.ADAPTIVE, 1.25, p=p).total_cycles
+                 for p in (2, 8)]
+        assert times[1] <= times[0]
+
+    def test_extreme_penalty_hurts_regular(self):
+        """Figure 8: p = 2^20 degrades dense sequential workloads."""
+        normal = run("srad", MigrationPolicy.ADAPTIVE, 1.25, p=8)
+        extreme = run("srad", MigrationPolicy.ADAPTIVE, 1.25, p=1 << 20)
+        assert extreme.total_cycles > normal.total_cycles
+
+    def test_remote_traffic_only_under_counter_schemes(self):
+        assert run("ra", MigrationPolicy.DISABLED, 1.25).events.n_remote == 0
+        assert run("ra", MigrationPolicy.ADAPTIVE, 1.25).events.n_remote > 0

@@ -1,0 +1,93 @@
+"""Property-based tests for counters and thresholds."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.uvm.counters import AccessCounterFile
+from repro.uvm.thresholds import (
+    dynamic_threshold_no_oversub,
+    dynamic_thresholds_oversub,
+)
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 10_000)),
+                min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_counter_accumulation_matches_reference(ops):
+    c = AccessCounterFile(16)
+    reference = np.zeros(16, dtype=np.int64)
+    for block, amount in ops:
+        c.add_accesses(np.array([block]), np.array([amount]))
+        reference[block] += amount
+    assert np.array_equal(c.counts.astype(np.int64), reference)
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_counts_never_exceed_field(blocks):
+    c = AccessCounterFile(8)
+    for b in blocks:
+        c.add_roundtrip(np.array([b]))
+    assert int(c.roundtrips.max()) <= int(c.roundtrip_max)
+
+
+@given(st.integers(1, 64), st.integers(0, 40))
+@settings(max_examples=200, deadline=None)
+def test_halving_preserves_relative_order(seed, extra):
+    rng = np.random.default_rng(seed)
+    c = AccessCounterFile(8)
+    vals = rng.integers(1, 1000, size=8)
+    c.add_accesses(np.arange(8), vals)
+    order_before = np.argsort(c.counts, kind="stable")
+    # Force a saturation-triggered halving.
+    c.add_accesses(np.array([int(np.argmax(vals))]),
+                   np.array([c.counter_max], dtype=np.uint64))
+    assert c.count_halvings >= 1
+    # Halving divides everything by the same power of two: weak order of
+    # the untouched blocks is preserved.
+    untouched = [i for i in range(8) if i != int(np.argmax(vals))]
+    after = c.counts[untouched].astype(np.int64)
+    before = vals[untouched]
+    # Pairwise: strictly-greater before implies greater-or-equal after.
+    for i in range(len(untouched)):
+        for j in range(len(untouched)):
+            if before[i] > before[j]:
+                assert after[i] >= after[j]
+
+
+@given(st.integers(1, 32), st.floats(0.0, 1.0))
+@settings(max_examples=300, deadline=None)
+def test_no_oversub_threshold_bounds(ts, occ):
+    td = dynamic_threshold_no_oversub(ts, occ)
+    assert 1 <= td <= ts + 1
+    # First-touch below 1/ts occupancy.
+    if occ * ts < 1.0:
+        assert td == 1
+
+
+@given(st.integers(1, 32), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+@settings(max_examples=200, deadline=None)
+def test_no_oversub_threshold_monotone_in_occupancy(ts, a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert dynamic_threshold_no_oversub(ts, lo) <= \
+        dynamic_threshold_no_oversub(ts, hi)
+
+
+@given(st.integers(1, 32), st.integers(1, 1 << 20),
+       st.lists(st.integers(0, 31), min_size=1, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_oversub_threshold_formula(ts, p, rs):
+    r = np.array(rs)
+    td = dynamic_thresholds_oversub(ts, r, p)
+    assert np.array_equal(td, ts * (r + 1) * p)
+    assert np.all(td >= ts * p)
+
+
+@given(st.integers(1, 16), st.integers(0, 31),
+       st.integers(1, 512), st.integers(1, 512))
+@settings(max_examples=200, deadline=None)
+def test_oversub_threshold_monotone_in_penalty(ts, r, p1, p2):
+    lo, hi = min(p1, p2), max(p1, p2)
+    td_lo = dynamic_thresholds_oversub(ts, np.array([r]), lo)[0]
+    td_hi = dynamic_thresholds_oversub(ts, np.array([r]), hi)[0]
+    assert td_lo <= td_hi

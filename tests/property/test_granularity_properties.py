@@ -1,0 +1,81 @@
+"""Property tests: invariants hold across eviction granularities,
+prefetchers and advice combinations."""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    EvictionGranularity,
+    MigrationPolicy,
+    PrefetcherKind,
+    SimulationConfig,
+)
+from repro.memory.advice import Advice
+from repro.memory.allocator import VirtualAddressSpace
+from repro.memory.layout import MB
+from repro.uvm.driver import UvmDriver
+
+policies = st.sampled_from(list(MigrationPolicy))
+granularities = st.sampled_from(list(EvictionGranularity))
+prefetchers = st.sampled_from(list(PrefetcherKind))
+advices = st.sampled_from(list(Advice))
+
+
+def build_driver(policy, granularity, prefetcher, advice, seed):
+    vas = VirtualAddressSpace()
+    vas.malloc_managed("a", 4 * MB, advice=advice)
+    vas.malloc_managed("b", 4 * MB)
+    cfg = SimulationConfig(seed=seed).with_policy(policy)
+    cfg = cfg.with_device_capacity(4 * MB)
+    cfg = cfg.with_eviction_granularity(granularity)
+    cfg = cfg.with_prefetcher(prefetcher)
+    return UvmDriver(vas, cfg)
+
+
+@given(policies, granularities, prefetchers, advices,
+       st.integers(0, 1000), st.integers(1, 8))
+@settings(max_examples=80, deadline=None)
+def test_all_configurations_keep_invariants(policy, granularity, prefetcher,
+                                            advice, seed, n_waves):
+    rng = np.random.default_rng(seed)
+    drv = build_driver(policy, granularity, prefetcher, advice, seed)
+    alloc_pages = np.concatenate([
+        np.arange(a.first_page, a.last_page) for a in drv.vas.allocations])
+    for _ in range(n_waves):
+        pages = rng.choice(alloc_pages, size=150)
+        writes = rng.random(150) < 0.4
+        counts = rng.integers(1, 40, size=150)
+        out = drv.process_wave(pages, writes, counts)
+        served = out.n_local + out.n_remote + out.fault_migrations
+        assert served == out.n_accesses
+    drv.check_consistency()
+    assert drv.device.used_blocks <= drv.device.capacity_blocks
+    # Hard-pinned blocks never end up device-resident.
+    pinned = drv.block_pinned_host
+    assert not np.any(drv.residency.resident & pinned)
+
+
+@given(st.integers(0, 500), st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_block_granularity_never_over_evicts(seed, n_waves):
+    """64KB eviction frees no more than a chunk eviction would."""
+    rng = np.random.default_rng(seed)
+    fine = build_driver(MigrationPolicy.DISABLED,
+                        EvictionGranularity.BLOCK_64KB,
+                        PrefetcherKind.TREE, Advice.NONE, seed)
+    coarse = build_driver(MigrationPolicy.DISABLED,
+                          EvictionGranularity.CHUNK_2MB,
+                          PrefetcherKind.TREE, Advice.NONE, seed)
+    alloc_pages = np.concatenate([
+        np.arange(a.first_page, a.last_page) for a in fine.vas.allocations])
+    for _ in range(n_waves):
+        pages = rng.choice(alloc_pages, size=200)
+        writes = rng.random(200) < 0.5
+        fine.process_wave(pages.copy(), writes.copy())
+        coarse.process_wave(pages.copy(), writes.copy())
+    assert fine.stats.totals.evicted_blocks <= \
+        coarse.stats.totals.evicted_blocks
+    # Finer granularity keeps the device at least as full.
+    assert fine.device.used_blocks >= coarse.device.used_blocks - 32

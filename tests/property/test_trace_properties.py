@@ -1,0 +1,53 @@
+"""Property tests: trace round trips and replay fidelity."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MigrationPolicy, SimulationConfig
+from repro.memory.layout import MB
+from repro.sim.simulator import Simulator
+from repro.trace import TraceWorkload, load_trace, record_trace, save_trace
+
+from tests.conftest import RandomWorkload, StreamWorkload
+
+
+@st.composite
+def workloads(draw):
+    kind = draw(st.sampled_from(["stream", "random"]))
+    size = draw(st.integers(2, 10))
+    if kind == "stream":
+        iters = draw(st.integers(1, 3))
+        return StreamWorkload(size_mb=size, iterations=iters)
+    waves = draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 100))
+    return RandomWorkload(size_mb=size, n_waves=waves, seed=seed)
+
+
+@given(workloads(), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_save_load_roundtrip_is_lossless(workload, seed):
+    import tempfile, pathlib
+    data = record_trace(workload, seed=seed)
+    with tempfile.TemporaryDirectory() as d:
+        path = save_trace(data, pathlib.Path(d) / "t.npz")
+        loaded = load_trace(path)
+    assert loaded.alloc_names == data.alloc_names
+    assert np.array_equal(loaded.alloc_sizes, data.alloc_sizes)
+    assert np.array_equal(loaded.pages, data.pages)
+    assert np.array_equal(loaded.is_write, data.is_write)
+    assert np.array_equal(loaded.counts, data.counts)
+    assert np.array_equal(loaded.wave_offsets, data.wave_offsets)
+    assert loaded.kernel_names == data.kernel_names
+
+
+@given(workloads(), st.integers(0, 50),
+       st.sampled_from(list(MigrationPolicy)))
+@settings(max_examples=20, deadline=None)
+def test_replay_is_bit_identical(workload, seed, policy):
+    cfg = SimulationConfig(seed=seed).with_policy(policy)
+    cfg = cfg.with_device_capacity(4 * MB)
+    direct = Simulator(cfg).run(workload)
+    data = record_trace(workload, seed=seed)
+    replay = Simulator(cfg).run(TraceWorkload(data))
+    assert replay.total_cycles == direct.total_cycles
+    assert replay.events == direct.events

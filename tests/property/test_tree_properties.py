@@ -1,0 +1,98 @@
+"""Property-based tests for the tree prefetcher."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.uvm.tree import PrefetchTree
+
+leaf_counts = st.sampled_from([1, 2, 4, 8, 16, 32])
+
+
+@st.composite
+def tree_and_faults(draw):
+    n = draw(leaf_counts)
+    order = draw(st.permutations(range(n)))
+    prefix = draw(st.integers(min_value=1, max_value=n))
+    return n, list(order)[:prefix]
+
+
+@given(tree_and_faults())
+@settings(max_examples=200, deadline=None)
+def test_occupancy_invariant_holds_under_any_fault_order(case):
+    n, faults = case
+    tree = PrefetchTree(n)
+    for leaf in faults:
+        if not tree.is_resident(leaf):
+            tree.on_fault(leaf)
+        tree.check_invariants()
+
+
+@given(tree_and_faults())
+@settings(max_examples=200, deadline=None)
+def test_prefetch_never_exceeds_chunk_and_never_duplicates(case):
+    n, faults = case
+    tree = PrefetchTree(n)
+    installed = set()
+    for leaf in faults:
+        if leaf in installed:
+            continue
+        pf = tree.on_fault(leaf)
+        assert leaf not in pf
+        for p in pf:
+            assert 0 <= p < n
+            assert p not in installed, "prefetched an already-resident leaf"
+            installed.add(int(p))
+        installed.add(leaf)
+    assert set(tree.resident_leaves().tolist()) == installed
+    assert tree.occupancy == len(installed)
+
+
+@given(tree_and_faults())
+@settings(max_examples=100, deadline=None)
+def test_all_leaves_resident_after_touching_all(case):
+    n, _ = case
+    tree = PrefetchTree(n)
+    for leaf in range(n):
+        if not tree.is_resident(leaf):
+            tree.on_fault(leaf)
+    assert tree.occupancy == n
+
+
+@given(tree_and_faults())
+@settings(max_examples=100, deadline=None)
+def test_clear_is_total(case):
+    n, faults = case
+    tree = PrefetchTree(n)
+    for leaf in faults:
+        if not tree.is_resident(leaf):
+            tree.on_fault(leaf)
+    tree.clear()
+    assert tree.occupancy == 0
+    assert not any(tree.is_resident(l) for l in range(n))
+
+
+@given(st.integers(min_value=1, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_balancing_rule_never_leaves_node_above_half_unbalanced(levels):
+    """After any fault, every strict-majority node is fully populated."""
+    n = 1 << levels
+    tree = PrefetchTree(n)
+    rng = np.random.default_rng(levels)
+    for leaf in rng.permutation(n):
+        if tree.is_resident(int(leaf)):
+            continue
+        tree.on_fault(int(leaf))
+        # Brute-force every aligned power-of-two leaf window (= every
+        # tree node): occupancy strictly above 50% implies the
+        # prefetcher balanced the node to full.
+        res = np.array([tree.is_resident(i) for i in range(n)])
+        span = 2
+        while span <= n:
+            for start in range(0, n, span):
+                window = res[start:start + span]
+                occ = window.sum()
+                if 2 * occ > span:
+                    assert occ == span, (
+                        f"node [{start},{start+span}) at {occ}/{span} "
+                        "should have been balanced full")
+            span *= 2

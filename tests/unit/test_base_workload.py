@@ -1,0 +1,103 @@
+"""Unit tests for the workload abstractions (Wave, WaveBuilder, chunked)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import Wave, WaveBuilder, chunked
+
+from tests.conftest import StreamWorkload, make_vas
+from repro.memory.allocator import VirtualAddressSpace
+
+
+class TestWave:
+    def test_default_counts(self):
+        w = Wave(np.array([1, 2]), np.array([False, True]))
+        assert list(w.counts) == [1, 1]
+        assert w.n_accesses == 2
+
+    def test_explicit_counts(self):
+        w = Wave(np.array([1]), np.array([False]), np.array([32]))
+        assert w.n_accesses == 32
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Wave(np.array([1, 2]), np.array([False]))
+
+    def test_counts_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Wave(np.array([1]), np.array([False]), np.array([1, 2]))
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Wave(np.array([1]), np.array([False]), np.array([0]))
+
+    def test_reads_writes_helpers(self):
+        r = Wave.reads(np.array([5]), counts=4)
+        w = Wave.writes(np.array([5]))
+        assert not r.is_write[0] and r.counts[0] == 4
+        assert w.is_write[0]
+
+
+class TestWaveBuilder:
+    def test_mixed_build(self):
+        wave = (WaveBuilder()
+                .read(np.array([0, 1]), 2)
+                .write(np.array([2]))
+                .build())
+        assert wave.n_accesses == 5
+        assert list(wave.is_write) == [False, False, True]
+
+    def test_empty_build(self):
+        wave = WaveBuilder().build()
+        assert wave.n_accesses == 0
+
+    def test_compute_per_access(self):
+        wave = WaveBuilder().read(np.array([0]), 10).build(
+            compute_per_access=2.5)
+        assert wave.compute_cycles == pytest.approx(25.0)
+
+    def test_absolute_compute(self):
+        wave = WaveBuilder().read(np.array([0])).build(compute_cycles=123)
+        assert wave.compute_cycles == 123
+
+    def test_both_compute_args_rejected(self):
+        with pytest.raises(ValueError):
+            WaveBuilder().read(np.array([0])).build(
+                compute_cycles=1, compute_per_access=1)
+
+    def test_per_entry_count_arrays(self):
+        wave = (WaveBuilder()
+                .read(np.array([0, 1]), np.array([3, 4]))
+                .build())
+        assert list(wave.counts) == [3, 4]
+
+
+class TestChunked:
+    def test_even_split(self):
+        parts = list(chunked(np.arange(10), 5))
+        assert [list(p) for p in parts] == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_remainder(self):
+        parts = list(chunked(np.arange(7), 3))
+        assert [len(p) for p in parts] == [3, 3, 1]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked(np.arange(3), 0))
+
+
+class TestWorkloadBase:
+    def test_build_registers_allocations(self):
+        wl = StreamWorkload(size_mb=2)
+        vas = VirtualAddressSpace()
+        wl.build(vas, np.random.default_rng(0))
+        assert "stream.data" in wl.allocations
+        assert wl.footprint_bytes == vas.footprint_bytes
+
+    def test_kernels_yield_waves(self):
+        wl = StreamWorkload(size_mb=2, iterations=1)
+        wl.build(VirtualAddressSpace(), np.random.default_rng(0))
+        launches = list(wl.kernels())
+        assert len(launches) == 1
+        waves = list(launches[0].waves())
+        assert waves and all(w.n_accesses > 0 for w in waves)

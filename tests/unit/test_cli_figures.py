@@ -1,0 +1,31 @@
+"""Unit tests for the CLI figure command extensions (all / --csv)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestFigureCsv:
+    def test_csv_output(self, capsys):
+        rc = main(["figure", "fig6", "--scale", "tiny", "--csv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("figure,series,workload,measured,paper")
+        assert "adaptive,ra" in out
+
+    def test_csv_rejected_for_non_series_figures(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "table1", "--csv"])
+
+    def test_csv_saved_to_file(self, capsys, tmp_path):
+        out = tmp_path / "fig6.csv"
+        rc = main(["figure", "fig6", "--scale", "tiny", "--csv",
+                   "--out", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("figure,series,workload")
+
+
+class TestFigureAll:
+    def test_all_accepted_by_parser(self):
+        args = build_parser().parse_args(["figure", "all"])
+        assert args.id == "all"

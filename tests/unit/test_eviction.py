@@ -1,0 +1,162 @@
+"""Unit tests for the chunk directory and victim selection."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReplacementPolicy
+from repro.memory.allocation import ChunkSpan
+from repro.uvm.eviction import ChunkDirectory, select_victims
+
+
+def make_directory(chunk_blocks=(32, 32, 32), gap_blocks=0):
+    """Directory over contiguous chunks (optionally a trailing gap)."""
+    spans = []
+    cursor = 0
+    for cid, n in enumerate(chunk_blocks):
+        spans.append(ChunkSpan(chunk_id=cid, first_block=cursor, num_blocks=n))
+        cursor += n
+    return ChunkDirectory(tuple(spans), cursor + gap_blocks)
+
+
+class TestDirectory:
+    def test_block_mapping(self):
+        d = make_directory((32, 16))
+        assert d.chunk_of_block[0] == 0
+        assert d.chunk_of_block[31] == 0
+        assert d.chunk_of_block[32] == 1
+        assert d.chunk_of_block[47] == 1
+
+    def test_gap_blocks_unowned(self):
+        d = make_directory((32,), gap_blocks=4)
+        assert np.all(d.chunk_of_block[32:] == -1)
+
+    def test_blocks_of_chunk(self):
+        d = make_directory((4, 8))
+        assert list(d.blocks_of_chunk(1)) == list(range(4, 12))
+
+    def test_touch_updates_timestamp(self):
+        d = make_directory()
+        d.touch(np.array([1]), 42)
+        assert d.last_touch[1] == 42
+        assert d.last_touch[0] == 0
+
+    def test_chunk_heat_aggregates(self):
+        d = make_directory((4, 4))
+        counters = np.array([1, 2, 3, 4, 10, 0, 0, 0], dtype=np.uint64)
+        heat = d.chunk_heat(counters)
+        assert heat[0] == 10
+        assert heat[1] == 10
+
+    def test_heat_buckets_quantize(self):
+        d = make_directory((4, 4))
+        # densities 2.5 vs 3.0 land in the same log2 bucket (1).
+        counters = np.array([2, 3, 2, 3, 3, 3, 3, 3], dtype=np.uint64)
+        buckets = d.chunk_heat_buckets(counters)
+        assert buckets[0] == buckets[1]
+
+    def test_heat_buckets_separate_orders_of_magnitude(self):
+        d = make_directory((4, 4))
+        counters = np.array([1, 1, 1, 1, 100, 100, 100, 100], dtype=np.uint64)
+        buckets = d.chunk_heat_buckets(counters)
+        assert buckets[0] < buckets[1]
+
+    def test_chunk_dirty(self):
+        d = make_directory((4, 4))
+        dirty = np.array([False, True, False, False,
+                          False, False, False, False])
+        flags = d.chunk_dirty(dirty)
+        assert flags[0] and not flags[1]
+
+    def test_rejects_out_of_order_chunks(self):
+        spans = (ChunkSpan(chunk_id=1, first_block=0, num_blocks=4),)
+        with pytest.raises(ValueError):
+            ChunkDirectory(spans, 4)
+
+
+class TestVictimSelection:
+    def _directory(self):
+        d = make_directory((32, 32, 32, 32))
+        d.occupancy[:] = (32, 32, 16, 0)
+        d.last_touch[:] = (3, 1, 2, 0)
+        return d
+
+    def test_zero_needed_returns_empty(self):
+        d = self._directory()
+        assert select_victims(d, 0, ReplacementPolicy.LRU,
+                              np.zeros(4, bool)) == []
+
+    def test_lru_prefers_oldest_full_chunk(self):
+        d = self._directory()
+        victims = select_victims(d, 1, ReplacementPolicy.LRU,
+                                 np.zeros(4, bool))
+        assert victims == [1]
+
+    def test_lru_falls_back_to_partial(self):
+        d = self._directory()
+        d.occupancy[:] = (0, 0, 16, 0)   # no full chunk exists
+        victims = select_victims(d, 1, ReplacementPolicy.LRU,
+                                 np.zeros(4, bool))
+        assert victims == [2]
+
+    def test_pinned_avoided_when_possible(self):
+        d = self._directory()
+        pinned = np.array([False, True, False, False])
+        victims = select_victims(d, 1, ReplacementPolicy.LRU, pinned)
+        assert victims == [0]  # oldest *unpinned* full chunk
+
+    def test_pinned_used_as_last_resort(self):
+        d = self._directory()
+        pinned = np.ones(4, dtype=bool)
+        victims = select_victims(d, 1, ReplacementPolicy.LRU, pinned)
+        assert victims == [1]
+
+    def test_never_mask_is_absolute(self):
+        d = self._directory()
+        never = np.array([False, True, False, False])
+        victims = select_victims(d, 1, ReplacementPolicy.LRU,
+                                 np.ones(4, bool), never=never)
+        assert 1 not in victims
+
+    def test_accumulates_until_enough(self):
+        d = self._directory()
+        victims = select_victims(d, 40, ReplacementPolicy.LRU,
+                                 np.zeros(4, bool))
+        assert victims == [1, 0]  # 32 + 32 >= 40
+
+    def test_impossible_raises(self):
+        d = self._directory()
+        with pytest.raises(RuntimeError):
+            select_victims(d, 1000, ReplacementPolicy.LRU,
+                           np.zeros(4, bool))
+
+    def test_lfu_prefers_cold(self):
+        d = self._directory()
+        heat = np.array([0, 10, 0, 0])
+        dirty = np.zeros(4, dtype=bool)
+        victims = select_victims(d, 1, ReplacementPolicy.LFU,
+                                 np.zeros(4, bool), heat=heat,
+                                 dirty_any=dirty)
+        assert victims == [0]  # colder than chunk 1 despite newer touch
+
+    def test_lfu_prefers_clean_on_heat_tie(self):
+        d = self._directory()
+        heat = np.array([5, 5, 0, 0])
+        dirty = np.array([True, False, False, False])
+        victims = select_victims(d, 1, ReplacementPolicy.LFU,
+                                 np.zeros(4, bool), heat=heat,
+                                 dirty_any=dirty)
+        assert victims == [1]
+
+    def test_lfu_degenerates_to_lru_on_full_tie(self):
+        d = self._directory()
+        heat = np.array([5, 5, 0, 0])
+        dirty = np.zeros(4, dtype=bool)
+        victims = select_victims(d, 1, ReplacementPolicy.LFU,
+                                 np.zeros(4, bool), heat=heat,
+                                 dirty_any=dirty)
+        assert victims == [1]  # older of the two equal-heat chunks
+
+    def test_lfu_requires_heat(self):
+        d = self._directory()
+        with pytest.raises(ValueError):
+            select_victims(d, 1, ReplacementPolicy.LFU, np.zeros(4, bool))

@@ -1,0 +1,109 @@
+"""Unit tests for the extended suite (pagerank, spmv)."""
+
+import numpy as np
+import pytest
+
+from repro import MigrationPolicy, SimulationConfig, Simulator
+from repro.memory.allocator import VirtualAddressSpace
+from repro.workloads import (
+    ALL_WORKLOADS,
+    EXTENDED_WORKLOADS,
+    Category,
+    make_workload,
+    workload_category,
+    workload_names,
+)
+
+
+def build(name, scale="tiny", seed=0):
+    wl = make_workload(name, scale)
+    wl.build(VirtualAddressSpace(), np.random.default_rng(seed))
+    return wl
+
+
+class TestRegistry:
+    def test_extended_not_in_paper_suite(self):
+        assert not set(EXTENDED_WORKLOADS) & set(ALL_WORKLOADS)
+        assert workload_names() == ALL_WORKLOADS
+        assert workload_names(extended=True) == \
+            ALL_WORKLOADS + EXTENDED_WORKLOADS
+
+    @pytest.mark.parametrize("name", EXTENDED_WORKLOADS)
+    def test_categorized_irregular(self, name):
+        assert workload_category(name) is Category.IRREGULAR
+
+
+@pytest.mark.parametrize("name", EXTENDED_WORKLOADS)
+class TestExtendedWorkloads:
+    def test_builds_and_runs(self, name):
+        cfg = SimulationConfig(seed=1).with_policy(MigrationPolicy.ADAPTIVE)
+        r = Simulator(cfg).run(make_workload(name, "tiny"),
+                               oversubscription=1.25)
+        assert r.total_cycles > 0
+        served = (r.events.n_local + r.events.n_remote
+                  + r.events.fault_migrations)
+        assert served == r.events.n_accesses
+
+    def test_footprint_large_enough_for_oversubscription(self, name):
+        wl = build(name)
+        assert wl.footprint_bytes > 8 * 2**20
+
+    def test_deterministic(self, name):
+        def fingerprint():
+            wl = build(name, seed=5)
+            acc = 0
+            for launch in wl.kernels():
+                for wave in launch.waves():
+                    acc += int(wave.pages.sum()) + wave.n_accesses
+            return acc
+        assert fingerprint() == fingerprint()
+
+
+class TestPagerankPattern:
+    def test_hot_cold_split(self):
+        """Rank vectors are far hotter per page than the edge array."""
+        wl = build("pagerank")
+        edges, rank = wl.edges, wl.rank
+        edge_acc = rank_acc = 0
+        for launch in wl.kernels():
+            for wave in launch.waves():
+                for p, c in zip(wave.pages, wave.counts):
+                    if edges.first_page <= p < edges.last_page:
+                        edge_acc += c
+                    elif rank.first_page <= p < rank.last_page:
+                        rank_acc += c
+        assert (rank_acc / rank.num_pages) > 3 * (edge_acc / edges.num_pages)
+
+    def test_adaptive_helps_under_oversubscription(self):
+        def run(policy):
+            cfg = SimulationConfig(seed=1).with_policy(policy)
+            return Simulator(cfg).run(make_workload("pagerank", "tiny"),
+                                      oversubscription=1.25)
+        base = run(MigrationPolicy.DISABLED)
+        adap = run(MigrationPolicy.ADAPTIVE)
+        assert adap.pages_thrashed < base.pages_thrashed
+        assert adap.total_cycles < base.total_cycles
+
+
+class TestSpmvPattern:
+    def test_matrix_streamed_vector_gathered(self):
+        wl = build("spmv")
+        vals, x = wl.values, wl.x
+        # Matrix pages are touched densely (32 accesses per page); the
+        # x-vector is gathered sparsely per wave.
+        for launch in wl.kernels():
+            for wave in launch.waves():
+                vmask = ((wave.pages >= vals.first_page)
+                         & (wave.pages < vals.last_page))
+                if vmask.any():
+                    assert wave.counts[vmask].max() == 32
+            break
+
+    def test_x_vector_read_only(self):
+        wl = build("spmv")
+        x = wl.x
+        for launch in wl.kernels():
+            for wave in launch.waves():
+                mask = (wave.pages >= x.first_page) & \
+                       (wave.pages < x.last_page)
+                assert not wave.is_write[mask].any()

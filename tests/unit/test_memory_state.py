@@ -1,0 +1,116 @@
+"""Unit tests for DeviceMemory, HostMemory and ResidencyMap."""
+
+import numpy as np
+import pytest
+
+from repro.memory.device import DeviceMemory
+from repro.memory.host import HostMemory
+from repro.memory.layout import CHUNK_SIZE
+from repro.uvm.residency import ResidencyMap
+
+
+class TestDeviceMemory:
+    def test_capacity_blocks(self):
+        dev = DeviceMemory(2 * CHUNK_SIZE)
+        assert dev.capacity_blocks == 64
+        assert dev.capacity_bytes == 2 * CHUNK_SIZE
+
+    def test_allocate_release_cycle(self):
+        dev = DeviceMemory(CHUNK_SIZE)
+        dev.allocate(10)
+        assert dev.used_blocks == 10
+        assert dev.free_blocks == 22
+        dev.release(4)
+        assert dev.used_blocks == 6
+
+    def test_occupancy_fraction(self):
+        dev = DeviceMemory(CHUNK_SIZE)
+        dev.allocate(16)
+        assert dev.occupancy == pytest.approx(0.5)
+
+    def test_overflow_raises(self):
+        dev = DeviceMemory(CHUNK_SIZE)
+        with pytest.raises(RuntimeError):
+            dev.allocate(33)
+
+    def test_release_too_much_raises(self):
+        dev = DeviceMemory(CHUNK_SIZE)
+        dev.allocate(2)
+        with pytest.raises(ValueError):
+            dev.release(3)
+
+    def test_pressure_flag_sticks(self):
+        dev = DeviceMemory(CHUNK_SIZE)
+        assert not dev.oversubscribed
+        dev.note_pressure()
+        assert dev.oversubscribed
+
+    def test_peak_tracking(self):
+        dev = DeviceMemory(CHUNK_SIZE)
+        dev.allocate(20)
+        dev.release(15)
+        dev.allocate(5)
+        assert dev.peak_used_blocks == 20
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(CHUNK_SIZE - 1)
+
+
+class TestHostMemory:
+    def test_initially_all_valid(self):
+        host = HostMemory(8)
+        assert host.valid.all()
+        assert not host.remote_mapped.any()
+
+    def test_migrate_invalidates_and_unmaps(self):
+        host = HostMemory(8)
+        host.map_remote(np.array([1, 2]))
+        host.migrate_to_device(np.array([1]))
+        assert not host.valid[1]
+        assert not host.remote_mapped[1]
+        assert host.remote_mapped[2]
+
+    def test_eviction_revalidates(self):
+        host = HostMemory(4)
+        host.migrate_to_device(np.array([0]))
+        host.accept_eviction(np.array([0]))
+        assert host.valid[0]
+
+    def test_remote_map_requires_host_valid(self):
+        host = HostMemory(4)
+        host.migrate_to_device(np.array([0]))
+        with pytest.raises(RuntimeError):
+            host.map_remote(np.array([0]))
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            HostMemory(0)
+
+
+class TestResidencyMap:
+    def test_mark_and_count(self):
+        res = ResidencyMap(10)
+        res.mark_resident(np.array([2, 5]))
+        assert res.resident_count == 2
+        assert res.resident[2] and res.resident[5]
+
+    def test_mark_resident_clears_dirty(self):
+        res = ResidencyMap(4)
+        res.mark_resident(np.array([1]))
+        res.mark_dirty(np.array([1]))
+        res.mark_resident(np.array([1]))  # re-install
+        assert not res.dirty[1]
+
+    def test_evict_returns_dirty_count(self):
+        res = ResidencyMap(6)
+        blocks = np.array([0, 1, 2])
+        res.mark_resident(blocks)
+        res.mark_dirty(np.array([0, 2]))
+        assert res.evict(blocks) == 2
+        assert res.resident_count == 0
+        assert not res.dirty.any()
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            ResidencyMap(0)

@@ -1,0 +1,47 @@
+"""Unit tests for SeriesResult exports (rows/CSV)."""
+
+from repro.analysis.experiments import SeriesResult
+
+
+def make_series():
+    return SeriesResult(
+        "Figure 6", "test",
+        measured={"always": {"ra": 0.3, "nw": 0.8},
+                  "adaptive": {"ra": 0.1, "nw": 0.5}},
+        paper={"adaptive": {"ra": 0.22}})
+
+
+class TestToRows:
+    def test_one_row_per_cell(self):
+        rows = make_series().to_rows()
+        assert len(rows) == 4
+        keys = {(r["series"], r["workload"]) for r in rows}
+        assert ("adaptive", "ra") in keys
+
+    def test_paper_reference_attached(self):
+        rows = {(r["series"], r["workload"]): r
+                for r in make_series().to_rows()}
+        assert rows[("adaptive", "ra")]["paper"] == 0.22
+        assert rows[("always", "ra")]["paper"] is None
+
+
+class TestToCsv:
+    def test_header_and_rows(self):
+        csv = make_series().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "figure,series,workload,measured,paper"
+        assert len(lines) == 5
+
+    def test_missing_paper_is_empty_field(self):
+        csv = make_series().to_csv()
+        always_ra = [l for l in csv.splitlines()
+                     if l.startswith("Figure 6,always,ra")][0]
+        assert always_ra.endswith(",")
+
+    def test_round_trippable_numbers(self):
+        csv = make_series().to_csv()
+        adaptive_ra = [l for l in csv.splitlines()
+                       if l.startswith("Figure 6,adaptive,ra")][0]
+        fields = adaptive_ra.split(",")
+        assert float(fields[3]) == 0.1
+        assert float(fields[4]) == 0.22

@@ -1,0 +1,98 @@
+"""Unit tests for the SM occupancy model."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.gpu.sm import KernelResources, SmOccupancyModel, SmResources
+
+
+@pytest.fixture
+def model():
+    return SmOccupancyModel()
+
+
+class TestKernelResources:
+    def test_rejects_empty_cta(self):
+        with pytest.raises(ValueError):
+            KernelResources(threads_per_cta=0)
+
+    def test_rejects_negative_resources(self):
+        with pytest.raises(ValueError):
+            KernelResources(registers_per_thread=-1)
+
+
+class TestOccupancy:
+    def test_full_occupancy_reference_kernel(self, model):
+        """256 threads, 32 regs: the classic fully-occupant config."""
+        k = KernelResources(threads_per_cta=256, registers_per_thread=32)
+        assert model.warps_per_cta(k) == 8
+        assert model.ctas_per_sm(k) == 8      # 64 warps / 8 per CTA
+        assert model.occupancy(k) == pytest.approx(1.0)
+        assert model.total_active_warps(k) == 64 * 28
+
+    def test_register_limited(self, model):
+        """High register pressure halves residency."""
+        k = KernelResources(threads_per_cta=256, registers_per_thread=64)
+        # regs/CTA = 16384; 65536/16384 = 4 CTAs -> 32 warps of 64.
+        assert model.ctas_per_sm(k) == 4
+        assert model.occupancy(k) == pytest.approx(0.5)
+
+    def test_shared_memory_limited(self, model):
+        k = KernelResources(threads_per_cta=128, registers_per_thread=16,
+                            shared_mem_per_cta=49152)
+        assert model.ctas_per_sm(k) == 2   # 98304 / 49152
+
+    def test_cta_slot_limited(self, model):
+        """Tiny CTAs hit the 32-CTA cap before the warp cap."""
+        k = KernelResources(threads_per_cta=32, registers_per_thread=16)
+        assert model.ctas_per_sm(k) == 32
+        assert model.occupancy(k) == pytest.approx(0.5)
+
+    def test_warp_rounding(self, model):
+        """Odd CTA sizes round up to whole warps."""
+        k = KernelResources(threads_per_cta=33, registers_per_thread=16)
+        assert model.warps_per_cta(k) == 2
+
+    def test_impossible_kernel(self, model):
+        k = KernelResources(threads_per_cta=256,
+                            shared_mem_per_cta=200 * 1024)
+        assert model.ctas_per_sm(k) == 0
+
+
+class TestComputeScale:
+    def test_full_occupancy_no_penalty(self, model):
+        k = KernelResources(threads_per_cta=256, registers_per_thread=32)
+        assert model.compute_scale(k) == pytest.approx(1.0)
+
+    def test_half_occupancy_doubles_compute(self, model):
+        k = KernelResources(threads_per_cta=256, registers_per_thread=64)
+        assert model.compute_scale(k) == pytest.approx(2.0)
+
+    def test_never_below_one(self, model):
+        k = KernelResources(threads_per_cta=256, registers_per_thread=32)
+        assert model.compute_scale(k, reference_occupancy=0.25) == 1.0
+
+    def test_unschedulable_raises(self, model):
+        k = KernelResources(threads_per_cta=256,
+                            shared_mem_per_cta=200 * 1024)
+        with pytest.raises(ValueError):
+            model.compute_scale(k)
+
+    def test_bad_reference(self, model):
+        k = KernelResources()
+        with pytest.raises(ValueError):
+            model.compute_scale(k, reference_occupancy=0.0)
+
+
+class TestCustomHardware:
+    def test_smaller_gpu(self):
+        gpu = GpuConfig(num_sms=2, max_warps_per_sm=32)
+        model = SmOccupancyModel(gpu)
+        k = KernelResources(threads_per_cta=256, registers_per_thread=32)
+        assert model.ctas_per_sm(k) == 4   # 32 warps / 8
+        assert model.total_active_warps(k) == 64
+
+    def test_custom_sm_resources(self):
+        model = SmOccupancyModel(sm=SmResources(register_file=32768))
+        k = KernelResources(threads_per_cta=256, registers_per_thread=32)
+        assert model.ctas_per_sm(k) == 4

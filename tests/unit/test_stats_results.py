@@ -1,0 +1,129 @@
+"""Unit tests for the stats collector, run results and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import ascii_bar_chart, comparison_table, format_table
+from repro.config import MigrationPolicy, SimulationConfig
+from repro.gpu.timing import WaveTiming
+from repro.memory.allocator import VirtualAddressSpace
+from repro.memory.layout import CHUNK_SIZE
+from repro.sim.results import RunResult
+from repro.stats.collector import StatsCollector
+from repro.uvm.driver import WaveOutcome
+
+
+@pytest.fixture
+def vas():
+    v = VirtualAddressSpace()
+    v.malloc_managed("hot", CHUNK_SIZE)
+    v.malloc_managed("cold", CHUNK_SIZE, read_only=True)
+    return v
+
+
+class TestCollector:
+    def test_histogram_accumulates(self, vas):
+        c = StatsCollector(vas, histogram=True)
+        pages = np.array([0, 0, 1])
+        writes = np.array([False, True, False])
+        c.on_wave("k", 0, 0.0, pages, writes)
+        assert c.page_reads[0] == 1
+        assert c.page_writes[0] == 1
+        assert c.page_reads[1] == 1
+
+    def test_histogram_respects_counts(self, vas):
+        c = StatsCollector(vas, histogram=True)
+        c.on_wave("k", 0, 0.0, np.array([2]), np.array([False]),
+                  counts=np.array([32]))
+        assert c.page_reads[2] == 32
+
+    def test_allocation_histogram(self, vas):
+        c = StatsCollector(vas, histogram=True)
+        hot = vas.allocations[0]
+        c.on_wave("k", 0, 0.0, np.array([hot.first_page]),
+                  np.array([True]))
+        h = c.allocation_histogram("hot")
+        assert h["writes"][0] == 1
+        assert h["reads"].sum() == 0
+
+    def test_allocation_summary_classifies_ro(self, vas):
+        c = StatsCollector(vas, histogram=True)
+        cold = vas.allocations[1]
+        c.on_wave("k", 0, 0.0, np.array([cold.first_page]),
+                  np.array([False]))
+        rows = {r["name"]: r for r in c.allocation_summary()}
+        assert rows["cold"]["read_only"]
+        assert rows["cold"]["reads"] == 1
+
+    def test_histogram_disabled_raises(self, vas):
+        c = StatsCollector(vas)
+        with pytest.raises(RuntimeError):
+            c.allocation_summary()
+
+    def test_trace_sampling_caps_size(self, vas):
+        c = StatsCollector(vas, trace=True, trace_sample=8)
+        pages = np.arange(100, dtype=np.int64)
+        c.on_wave("k", 3, 42.0, pages, np.zeros(100, dtype=bool))
+        assert len(c.trace) == 1
+        rec = c.trace[0]
+        assert rec.pages.size == 8
+        assert rec.kernel == "k" and rec.iteration == 3
+        assert rec.cycle == 42.0
+
+    def test_kernel_stats(self, vas):
+        c = StatsCollector(vas)
+        c.on_kernel_end("k1", 100.0, 10)
+        c.on_kernel_end("k1", 50.0, 5)
+        assert c.kernels["k1"].cycles == 150.0
+        assert c.kernels["k1"].launches == 2
+
+
+class TestRunResult:
+    def _result(self, cycles=1000.0, **events):
+        return RunResult(
+            workload="w", config=SimulationConfig(),
+            total_cycles=cycles, timing=WaveTiming(total=cycles),
+            events=WaveOutcome(**events), footprint_bytes=10 * CHUNK_SIZE,
+            device_capacity_bytes=8 * CHUNK_SIZE)
+
+    def test_runtime_seconds(self):
+        r = self._result(cycles=1481e6)
+        assert r.runtime_seconds == pytest.approx(1.0)
+
+    def test_oversubscription(self):
+        assert self._result().oversubscription == pytest.approx(1.25)
+
+    def test_normalization(self):
+        a, b = self._result(2000.0), self._result(1000.0)
+        assert a.normalized_runtime(b) == pytest.approx(2.0)
+        assert b.speedup_over(a) == pytest.approx(2.0)
+
+    def test_hit_ratio(self):
+        r = self._result(n_accesses=10, n_local=7)
+        assert r.hit_ratio == pytest.approx(0.7)
+
+    def test_summary_keys(self):
+        s = self._result().summary()
+        for key in ("workload", "policy", "cycles", "faults",
+                    "thrash_migrations", "oversubscription"):
+            assert key in s
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        txt = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.0]], title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in txt
+
+    def test_comparison_table_with_paper(self):
+        txt = comparison_table("t", ["w1"], {"w1": 1.23}, {"w1": 1.11})
+        assert "1.230" in txt and "1.110" in txt
+
+    def test_comparison_table_without_paper(self):
+        txt = comparison_table("t", ["w1"], {"w1": 1.23}, None)
+        assert "paper" not in txt
+
+    def test_ascii_bar_chart(self):
+        txt = ascii_bar_chart("chart", {"a": 1.0, "b": 2.0})
+        assert "#" in txt and "2.00x" in txt

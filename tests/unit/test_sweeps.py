@@ -1,0 +1,51 @@
+"""Unit tests for the oversubscription sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    DEFAULT_LEVELS,
+    SweepResult,
+    oversubscription_sweep,
+)
+from repro.config import MigrationPolicy
+
+
+@pytest.fixture(scope="module")
+def ra_sweep():
+    return oversubscription_sweep(
+        "ra", levels=(0.8, 1.25), scale="tiny",
+        policies=(MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE))
+
+
+class TestSweep:
+    def test_structure(self, ra_sweep):
+        assert ra_sweep.workload == "ra"
+        assert set(ra_sweep.runs) == {"disabled", "adaptive"}
+        assert all(len(v) == 2 for v in ra_sweep.runs.values())
+
+    def test_normalized_starts_at_one(self, ra_sweep):
+        series = ra_sweep.normalized("disabled")
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] > 1.0
+
+    def test_advantage_below_capacity_is_neutral(self, ra_sweep):
+        adv = ra_sweep.advantage()
+        assert 0.8 <= adv[0] <= 1.2
+        assert adv[1] < adv[0]
+
+    def test_crossover_found(self, ra_sweep):
+        assert ra_sweep.crossover(threshold=0.9) == 1.25
+
+    def test_crossover_none_when_threshold_unreachable(self, ra_sweep):
+        assert ra_sweep.crossover(threshold=0.0001) is None
+
+    def test_render(self, ra_sweep):
+        txt = ra_sweep.render()
+        assert "80%" in txt and "125%" in txt and "adaptive" in txt
+
+    def test_default_levels_sane(self):
+        assert DEFAULT_LEVELS[0] < 1.0 < DEFAULT_LEVELS[-1]
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ValueError):
+            oversubscription_sweep("ra", levels=(), scale="tiny")

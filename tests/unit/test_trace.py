@@ -1,0 +1,123 @@
+"""Unit tests for trace capture and replay."""
+
+import numpy as np
+import pytest
+
+from repro.trace import TraceData, TraceWorkload, load_trace, record_trace, save_trace
+from repro.workloads import make_workload
+
+from tests.conftest import StreamWorkload
+
+
+class TestRecord:
+    def test_records_allocations_and_waves(self):
+        data = record_trace(StreamWorkload(size_mb=2, iterations=2), seed=0)
+        assert data.alloc_names == ["stream.data"]
+        assert data.num_launches == 2
+        assert data.num_waves > 0
+        assert data.num_accesses > 0
+        data.validate()
+
+    def test_offsets_partition_stream(self):
+        data = record_trace(StreamWorkload(size_mb=2), seed=0)
+        spans = np.diff(data.wave_offsets)
+        assert spans.sum() == data.pages.size
+        assert np.all(spans >= 0)
+
+    def test_deterministic(self):
+        a = record_trace(make_workload("ra", "tiny"), seed=4)
+        b = record_trace(make_workload("ra", "tiny"), seed=4)
+        assert np.array_equal(a.pages, b.pages)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_meta_fields(self):
+        data = record_trace(make_workload("nw", "tiny"), seed=0)
+        assert data.meta["workload"] == "nw"
+        assert data.meta["category"] == "irregular"
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        data = record_trace(StreamWorkload(size_mb=2), seed=1)
+        path = save_trace(data, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.alloc_names == data.alloc_names
+        assert np.array_equal(loaded.pages, data.pages)
+        assert np.array_equal(loaded.wave_offsets, data.wave_offsets)
+        assert np.array_equal(loaded.is_write, data.is_write)
+        assert loaded.meta == data.meta
+
+    def test_appends_npz_suffix(self, tmp_path):
+        data = record_trace(StreamWorkload(size_mb=2), seed=1)
+        path = save_trace(data, tmp_path / "t")
+        assert path.suffix == ".npz"
+        load_trace(path).validate()
+
+
+class TestValidation:
+    def _minimal(self, **overrides):
+        kwargs = dict(
+            alloc_names=["a"],
+            alloc_sizes=np.array([4096], dtype=np.int64),
+            alloc_read_only=np.array([False]),
+            alloc_advice=["none"],
+            kernel_names=["k"],
+            kernel_iterations=np.array([0]),
+            wave_kernel=np.array([0]),
+            wave_offsets=np.array([0, 1]),
+            wave_compute=np.array([float("nan")]),
+            pages=np.array([0]),
+            is_write=np.array([False]),
+            counts=np.array([1]),
+        )
+        kwargs.update(overrides)
+        return TraceData(**kwargs)
+
+    def test_minimal_valid(self):
+        self._minimal().validate()
+
+    def test_bad_offsets(self):
+        with pytest.raises(ValueError):
+            self._minimal(wave_offsets=np.array([0, 2])).validate()
+
+    def test_bad_kernel_index(self):
+        with pytest.raises(ValueError):
+            self._minimal(wave_kernel=np.array([5])).validate()
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            self._minimal(counts=np.array([0])).validate()
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            self._minimal(version=99).validate()
+
+
+class TestReplay:
+    def test_replay_matches_source_simulation(self):
+        from repro import MigrationPolicy, SimulationConfig, Simulator
+        cfg = SimulationConfig(seed=7).with_policy(MigrationPolicy.ADAPTIVE)
+        orig = Simulator(cfg).run(make_workload("ra", "tiny"),
+                                  oversubscription=1.25)
+        data = record_trace(make_workload("ra", "tiny"), seed=7)
+        repl = Simulator(cfg).run(TraceWorkload(data),
+                                  oversubscription=1.25)
+        assert repl.total_cycles == orig.total_cycles
+        assert repl.events == orig.events
+
+    def test_replay_preserves_metadata(self):
+        data = record_trace(make_workload("sssp", "tiny"), seed=0)
+        wl = TraceWorkload(data)
+        assert wl.name == "sssp"
+        assert wl.category.value == "irregular"
+
+    def test_replay_under_different_policy(self):
+        from repro import MigrationPolicy, SimulationConfig, Simulator
+        data = record_trace(make_workload("ra", "tiny"), seed=2)
+        runs = {}
+        for pol in (MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE):
+            cfg = SimulationConfig(seed=2).with_policy(pol)
+            runs[pol] = Simulator(cfg).run(TraceWorkload(data),
+                                           oversubscription=1.25)
+        assert runs[MigrationPolicy.ADAPTIVE].total_cycles < \
+            runs[MigrationPolicy.DISABLED].total_cycles

@@ -1,0 +1,108 @@
+"""Unit tests for the tree-based prefetcher (ISCA'19 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.uvm.tree import PrefetchTree
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            PrefetchTree(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PrefetchTree(0)
+
+    def test_single_leaf_chunk(self):
+        t = PrefetchTree(1)
+        assert t.on_fault(0).size == 0
+        assert t.occupancy == 1
+
+
+class TestFaultSequence:
+    def test_sequential_touch_fault_points(self):
+        """Sequential sweep of a 32-leaf chunk faults on 0,1,2,4,8,16."""
+        t = PrefetchTree(32)
+        faults = []
+        for leaf in range(32):
+            if not t.is_resident(leaf):
+                faults.append(leaf)
+                t.on_fault(leaf)
+        assert faults == [0, 1, 2, 4, 8, 16]
+        assert t.occupancy == 32
+
+    def test_first_fault_no_prefetch(self):
+        t = PrefetchTree(32)
+        assert t.on_fault(7).size == 0
+        assert t.occupancy == 1
+
+    def test_second_adjacent_fault_prefetches_balance(self):
+        t = PrefetchTree(8)
+        t.on_fault(0)
+        pf = t.on_fault(1)
+        # node(0,1) is full (2/2 > 50%): no absent leaves below it, but
+        # node(0..3) is at 2/4 = 50% (not strict) -> no prefetch yet.
+        assert pf.size == 0
+        pf = t.on_fault(2)
+        # node(0..3) now 3/4 > 50% -> leaf 3 prefetched; root 4/8=50%.
+        assert list(pf) == [3]
+
+    def test_prefetch_capped_at_half_chunk(self):
+        """A fault never prefetches more than half the chunk minus itself."""
+        t = PrefetchTree(32)
+        t.on_fault(0)
+        t.on_fault(1)
+        t.on_fault(2)   # prefetches 3
+        t.on_fault(4)   # prefetches 5,6,7
+        pf = t.on_fault(8)  # prefetches 9..15 (7 leaves)
+        assert list(pf) == list(range(9, 16))
+        pf = t.on_fault(16)  # prefetches 17..31 (15 leaves = ~1MB)
+        assert list(pf) == list(range(17, 32))
+
+    def test_fault_on_resident_leaf_raises(self):
+        t = PrefetchTree(4)
+        t.on_fault(0)
+        with pytest.raises(RuntimeError):
+            t.on_fault(0)
+
+    def test_out_of_range_leaf(self):
+        t = PrefetchTree(4)
+        with pytest.raises(IndexError):
+            t.on_fault(4)
+
+    def test_scattered_faults(self):
+        t = PrefetchTree(8)
+        t.on_fault(7)
+        t.on_fault(0)
+        pf = t.on_fault(4)
+        # node(4..7): 2/4 (leaf 7 + 4) = 50%, root 3/8 -> no prefetch.
+        assert pf.size == 0
+        t.check_invariants()
+
+
+class TestBookkeeping:
+    def test_clear_resets(self):
+        t = PrefetchTree(16)
+        for leaf in (0, 1, 2):
+            t.on_fault(leaf)
+        t.clear()
+        assert t.occupancy == 0
+        assert t.resident_leaves().size == 0
+        t.check_invariants()
+
+    def test_resident_leaves_match_marks(self):
+        t = PrefetchTree(8)
+        t.mark_resident(3)
+        t.mark_resident(6)
+        assert list(t.resident_leaves()) == [3, 6]
+
+    def test_invariants_after_mixed_ops(self):
+        t = PrefetchTree(32)
+        rng = np.random.default_rng(1)
+        for leaf in rng.permutation(32):
+            if not t.is_resident(int(leaf)):
+                t.on_fault(int(leaf))
+            t.check_invariants()
+        assert t.occupancy == 32

@@ -1,0 +1,141 @@
+"""Unit tests for workload utilities and graph generation."""
+
+import numpy as np
+import pytest
+
+from repro.memory.allocator import VirtualAddressSpace
+from repro.memory.layout import CHUNK_SIZE
+from repro.workloads.graphs import random_graph
+from repro.workloads.util import (
+    SECTORS_PER_PAGE,
+    coalesced_pages,
+    dedupe_with_counts,
+    ragged_ranges,
+)
+
+
+class TestRaggedRanges:
+    def test_basic(self):
+        out = ragged_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert list(out) == [0, 1, 2, 10, 11]
+
+    def test_zero_lengths_skipped(self):
+        out = ragged_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        assert list(out) == [7, 8]
+
+    def test_empty(self):
+        out = ragged_ranges(np.array([], dtype=np.int64),
+                            np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    def test_single_range(self):
+        assert list(ragged_ranges(np.array([4]), np.array([4]))) == [4, 5, 6, 7]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ragged_ranges(np.array([0]), np.array([-1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ragged_ranges(np.array([0, 1]), np.array([1]))
+
+    def test_matches_naive_concatenation(self):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 1000, size=50)
+        lens = rng.integers(0, 10, size=50)
+        expected = np.concatenate(
+            [np.arange(s, s + l) for s, l in zip(starts, lens)] or [[]])
+        assert np.array_equal(ragged_ranges(starts, lens), expected)
+
+
+class TestDedupe:
+    def test_counts(self):
+        pages, counts = dedupe_with_counts(np.array([3, 1, 3, 3]))
+        assert list(pages) == [1, 3]
+        assert list(counts) == [1, 3]
+
+    def test_empty(self):
+        pages, counts = dedupe_with_counts(np.array([], dtype=np.int64))
+        assert pages.size == 0 and counts.size == 0
+
+
+class TestCoalescedPages:
+    def _alloc(self):
+        return VirtualAddressSpace().malloc_managed("a", CHUNK_SIZE)
+
+    def test_same_sector_collapses(self):
+        a = self._alloc()
+        # 16 consecutive 8-byte elements = one 128B sector.
+        pages, counts = coalesced_pages(a, np.arange(16) * 8)
+        assert pages.size == 1
+        assert counts[0] == 1
+
+    def test_scattered_sectors_counted(self):
+        a = self._alloc()
+        offs = np.array([0, 128, 4096])   # two sectors page 0, one page 1
+        pages, counts = coalesced_pages(a, offs)
+        assert list(pages) == [a.first_page, a.first_page + 1]
+        assert list(counts) == [2, 1]
+
+    def test_accesses_per_sector_multiplier(self):
+        a = self._alloc()
+        _, counts = coalesced_pages(a, np.array([0]), accesses_per_sector=3)
+        assert counts[0] == 3
+
+    def test_empty(self):
+        a = self._alloc()
+        pages, counts = coalesced_pages(a, np.array([], dtype=np.int64))
+        assert pages.size == 0
+
+    def test_sectors_per_page_constant(self):
+        assert SECTORS_PER_PAGE == 32
+
+
+class TestRandomGraph:
+    def test_structure_valid(self):
+        g = random_graph(1000, 4.0, np.random.default_rng(0))
+        g.validate()
+        assert g.num_nodes == 1000
+        assert g.num_edges == g.ptr[-1]
+
+    def test_average_degree(self):
+        g = random_graph(10_000, 8.0, np.random.default_rng(1))
+        assert g.degrees().mean() == pytest.approx(8.0, rel=0.05)
+
+    def test_chain_guarantees_reachability(self):
+        g = random_graph(500, 2.0, np.random.default_rng(2))
+        # Follow the chain edge (first edge of each node).
+        seen = {0}
+        node = 0
+        for _ in range(500):
+            node = int(g.dst[g.ptr[node]])
+            seen.add(node)
+        assert len(seen) == 500
+
+    def test_skew_concentrates_destinations(self):
+        rng = np.random.default_rng(3)
+        uniform = random_graph(10_000, 8.0, rng, skew=0.0,
+                               connect_chain=False)
+        skewed = random_graph(10_000, 8.0, rng, skew=0.6,
+                              connect_chain=False)
+        # Top-1% most popular destinations take a larger share when skewed.
+        def top_share(g):
+            counts = np.bincount(g.dst, minlength=g.num_nodes)
+            counts.sort()
+            return counts[-100:].sum() / g.num_edges
+        assert top_share(skewed) > 2 * top_share(uniform)
+
+    def test_deterministic_for_seed(self):
+        a = random_graph(100, 4.0, np.random.default_rng(42))
+        b = random_graph(100, 4.0, np.random.default_rng(42))
+        assert np.array_equal(a.dst, b.dst)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_rejects_bad_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_graph(1, 4.0, rng)
+        with pytest.raises(ValueError):
+            random_graph(10, 0.5, rng)
+        with pytest.raises(ValueError):
+            random_graph(10, 4.0, rng, skew=1.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the dynamic-threshold variants."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import MigrationPolicy, PolicyConfig, SimulationConfig
+from repro.core.policy import AdaptivePolicy, make_policy
+from repro.core.variants import (
+    VARIANTS,
+    ExponentialBackoffPolicy,
+    LinearBackoffPolicy,
+    OccupancyOnlyPolicy,
+    make_variant,
+)
+
+from tests.conftest import make_driver, make_vas
+
+
+@pytest.fixture
+def driver():
+    drv = make_driver(make_vas(8), MigrationPolicy.ADAPTIVE, capacity_mb=16)
+    drv.device.note_pressure()
+    return drv
+
+
+def blocks(*ids):
+    return np.array(ids, dtype=np.int64)
+
+
+class TestRegistry:
+    def test_contains_paper_design(self):
+        assert VARIANTS["multiplicative"] is AdaptivePolicy
+
+    def test_make_variant(self):
+        pol = make_variant("linear", PolicyConfig())
+        assert isinstance(pol, LinearBackoffPolicy)
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            make_variant("quantum", PolicyConfig())
+
+    def test_make_policy_respects_variant_field(self):
+        cfg = PolicyConfig(policy=MigrationPolicy.ADAPTIVE,
+                           threshold_variant="exponential")
+        assert isinstance(make_policy(cfg), ExponentialBackoffPolicy)
+
+    def test_variant_ignored_for_static_schemes(self):
+        cfg = PolicyConfig(policy=MigrationPolicy.ALWAYS,
+                           threshold_variant="exponential")
+        pol = make_policy(cfg)
+        assert not isinstance(pol, ExponentialBackoffPolicy)
+
+
+class TestLinear:
+    def test_additive_growth(self, driver):
+        pol = LinearBackoffPolicy(PolicyConfig(static_threshold=8,
+                                               migration_penalty=4))
+        driver.counters.add_roundtrip(blocks(1))
+        driver.counters.add_roundtrip(blocks(1))
+        td, _ = pol.decision_state(blocks(0, 1), driver)
+        assert td[0] == 8        # ts + 0*p
+        assert td[1] == 16       # ts + 2*p
+
+    def test_pre_pressure_matches_paper(self):
+        drv = make_driver(make_vas(8), MigrationPolicy.ADAPTIVE,
+                          capacity_mb=16)
+        pol = LinearBackoffPolicy(PolicyConfig())
+        paper = AdaptivePolicy(PolicyConfig())
+        td_v, _ = pol.decision_state(blocks(0), drv)
+        td_p, _ = paper.decision_state(blocks(0), drv)
+        assert td_v[0] == td_p[0]
+
+
+class TestExponential:
+    def test_geometric_growth(self, driver):
+        pol = ExponentialBackoffPolicy(PolicyConfig(static_threshold=8,
+                                                    migration_penalty=2))
+        driver.counters.add_roundtrip(blocks(1))
+        td, _ = pol.decision_state(blocks(0, 1), driver)
+        assert td[0] == 16       # 8 * 2^1
+        assert td[1] == 32       # 8 * 2^2
+
+    def test_capped(self, driver):
+        pol = ExponentialBackoffPolicy(PolicyConfig(static_threshold=8,
+                                                    migration_penalty=8))
+        for _ in range(20):
+            driver.counters.add_roundtrip(blocks(0))
+        td, _ = pol.decision_state(blocks(0), driver)
+        assert td[0] == ExponentialBackoffPolicy.CAP
+
+    def test_grows_faster_than_multiplicative(self, driver):
+        cfg = PolicyConfig(static_threshold=8, migration_penalty=4)
+        exp = ExponentialBackoffPolicy(cfg)
+        mult = AdaptivePolicy(cfg)
+        for _ in range(3):
+            driver.counters.add_roundtrip(blocks(0))
+        td_e, _ = exp.decision_state(blocks(0), driver)
+        td_m, _ = mult.decision_state(blocks(0), driver)
+        assert td_e[0] > td_m[0]
+
+
+class TestOccupancyOnly:
+    def test_ignores_roundtrips(self, driver):
+        pol = OccupancyOnlyPolicy(PolicyConfig(static_threshold=8))
+        for _ in range(5):
+            driver.counters.add_roundtrip(blocks(0))
+        td, _ = pol.decision_state(blocks(0, 1), driver)
+        assert td[0] == td[1]
+        assert td[0] <= 9
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_variant_runs(self, variant):
+        from repro import Simulator
+        from repro.workloads import make_workload
+        cfg = SimulationConfig(seed=1).with_policy(MigrationPolicy.ADAPTIVE)
+        cfg = dataclasses.replace(cfg, policy=dataclasses.replace(
+            cfg.policy, threshold_variant=variant))
+        r = Simulator(cfg).run(make_workload("ra", "tiny"),
+                               oversubscription=1.25)
+        assert r.total_cycles > 0
+
+    def test_occupancy_only_thrashes_most(self):
+        from repro import Simulator
+        from repro.workloads import make_workload
+
+        def run(variant):
+            cfg = SimulationConfig(seed=1).with_policy(
+                MigrationPolicy.ADAPTIVE)
+            cfg = dataclasses.replace(cfg, policy=dataclasses.replace(
+                cfg.policy, threshold_variant=variant))
+            return Simulator(cfg).run(make_workload("ra", "tiny"),
+                                      oversubscription=1.25)
+        occ = run("occupancy-only")
+        mult = run("multiplicative")
+        assert occ.pages_thrashed > 5 * max(mult.pages_thrashed, 1)
