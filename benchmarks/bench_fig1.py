@@ -14,8 +14,8 @@ from repro.workloads import IRREGULAR_WORKLOADS, REGULAR_WORKLOADS
 from conftest import run_once
 
 
-def test_figure1(benchmark, save_report, scale):
-    res = run_once(benchmark, lambda: figure1(scale=scale))
+def test_figure1(benchmark, save_report, scale, jobs):
+    res = run_once(benchmark, lambda: figure1(scale=scale, jobs=jobs))
     save_report("figure1", res.render())
 
     for label in ("125% oversub", "150% oversub"):

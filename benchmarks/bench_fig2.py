@@ -16,8 +16,8 @@ from repro.config import MigrationPolicy
 from conftest import run_once
 
 
-def test_figure2(benchmark, save_report, scale):
-    data = run_once(benchmark, lambda: figure2(scale=scale))
+def test_figure2(benchmark, save_report, scale, jobs):
+    data = run_once(benchmark, lambda: figure2(scale=scale, jobs=jobs))
     save_report("figure2", render_figure2(data))
 
     # fdtd: uniform density across its field arrays (Figure 2a).

@@ -12,8 +12,8 @@ from repro.workloads import REGULAR_WORKLOADS
 from conftest import run_once
 
 
-def test_figure4(benchmark, save_report, scale):
-    res = run_once(benchmark, lambda: figure4(scale=scale))
+def test_figure4(benchmark, save_report, scale, jobs):
+    res = run_once(benchmark, lambda: figure4(scale=scale, jobs=jobs))
     save_report("figure4", res.render())
 
     for label in ("ts=16", "ts=32"):

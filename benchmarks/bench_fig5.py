@@ -12,8 +12,8 @@ from repro.analysis import figure5
 from conftest import run_once
 
 
-def test_figure5(benchmark, save_report, scale):
-    res = run_once(benchmark, lambda: figure5(scale=scale))
+def test_figure5(benchmark, save_report, scale, jobs):
+    res = run_once(benchmark, lambda: figure5(scale=scale, jobs=jobs))
     save_report("figure5", res.render())
 
     adaptive = res.measured["adaptive"]

@@ -14,8 +14,8 @@ from repro.workloads import IRREGULAR_WORKLOADS, REGULAR_WORKLOADS
 from conftest import run_once
 
 
-def test_figure6(benchmark, save_report, scale):
-    fig6, _ = run_once(benchmark, lambda: figure6_7(scale=scale))
+def test_figure6(benchmark, save_report, scale, jobs):
+    fig6, _ = run_once(benchmark, lambda: figure6_7(scale=scale, jobs=jobs))
     save_report("figure6", fig6.render())
 
     adaptive = fig6.measured["adaptive"]

@@ -15,8 +15,8 @@ from repro.workloads import IRREGULAR_WORKLOADS
 from conftest import run_once
 
 
-def test_figure7(benchmark, save_report, scale):
-    fig6, fig7 = run_once(benchmark, lambda: figure6_7(scale=scale))
+def test_figure7(benchmark, save_report, scale, jobs):
+    fig6, fig7 = run_once(benchmark, lambda: figure6_7(scale=scale, jobs=jobs))
     save_report("figure7", fig7.render())
 
     adaptive = fig7.measured["adaptive"]

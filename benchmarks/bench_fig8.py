@@ -15,8 +15,8 @@ from conftest import run_once
 PENALTIES = (2, 4, 8, 1 << 20)
 
 
-def test_figure8(benchmark, save_report, scale):
-    res = run_once(benchmark, lambda: figure8(scale=scale,
+def test_figure8(benchmark, save_report, scale, jobs):
+    res = run_once(benchmark, lambda: figure8(scale=scale, jobs=jobs,
                                               penalties=PENALTIES))
     save_report("figure8", res.render())
 

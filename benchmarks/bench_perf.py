@@ -1,0 +1,199 @@
+"""Tracked performance harness for the simulator's hot path.
+
+Measures (1) the driver's throughput in simulated accesses per second
+on a fixed workload set, (2) wall time of the ``bench_sweep`` grid
+serially and with ``--jobs`` worker processes, and (3) the speedup of
+the batched migration drain over the in-tree scalar reference path.
+Results are written to ``BENCH_driver.json`` at the repository root so
+every later change has a perf trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_perf.py --jobs 0   # all cores
+
+Wall-clock numbers are min-of-``--repeats`` to shave scheduler noise;
+CPU time (``time.process_time``) is reported alongside because shared
+boxes make wall time alone unreliable.  Numbers are testbed-specific:
+compare ratios across commits on the same machine, not across hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import GridCell, default_jobs, oversubscription_sweep, run_grid  # noqa: E402
+from repro.config import MigrationPolicy  # noqa: E402
+import repro.uvm.driver as uvm_driver  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_driver.json"
+
+#: The bench_sweep grid: the acceptance workload for driver speedups.
+SWEEP_LEVELS = (0.8, 1.0, 1.25, 1.5)
+SWEEP_WORKLOADS = ("ra", "fdtd")
+SWEEP_POLICIES = (MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE)
+
+#: Driver-throughput cells: one irregular and one regular workload per
+#: pressure regime, adaptive policy (the paper's operating points).
+THROUGHPUT_CELLS = tuple(
+    (w, level) for w in ("ra", "sssp", "fdtd", "bfs") for level in (1.25,))
+
+
+def _timed(fn, repeats: int) -> tuple[float, float, object]:
+    """(best wall seconds, best CPU seconds, last result) over repeats."""
+    best_wall = best_cpu = float("inf")
+    result = None
+    for _ in range(repeats):
+        w0, c0 = time.perf_counter(), time.process_time()
+        result = fn()
+        best_wall = min(best_wall, time.perf_counter() - w0)
+        best_cpu = min(best_cpu, time.process_time() - c0)
+    return best_wall, best_cpu, result
+
+
+def measure_throughput(scale: str, repeats: int) -> dict:
+    """Simulated accesses/second over the fixed throughput cells."""
+    cells = [GridCell(w, MigrationPolicy.ADAPTIVE, level, scale)
+             for w, level in THROUGHPUT_CELLS]
+    wall, cpu, results = _timed(lambda: run_grid(cells), repeats)
+    accesses = sum(r.events.n_accesses for r in results)
+    return {
+        "cells": [f"{w}@{level}" for w, level in THROUGHPUT_CELLS],
+        "scale": scale,
+        "simulated_accesses": accesses,
+        "wall_seconds": round(wall, 4),
+        "cpu_seconds": round(cpu, 4),
+        "accesses_per_second": round(accesses / wall, 1),
+    }
+
+
+def _sweep_grid(scale: str, jobs: int) -> None:
+    for w in SWEEP_WORKLOADS:
+        oversubscription_sweep(w, levels=SWEEP_LEVELS, scale=scale,
+                               policies=SWEEP_POLICIES, jobs=jobs)
+
+
+def measure_sweep(scale: str, repeats: int, jobs: int) -> dict:
+    """bench_sweep grid wall time, serial and parallel."""
+    serial_wall, serial_cpu, _ = _timed(
+        lambda: _sweep_grid(scale, 1), repeats)
+    out = {
+        "scale": scale,
+        "levels": list(SWEEP_LEVELS),
+        "workloads": list(SWEEP_WORKLOADS),
+        "serial_wall_seconds": round(serial_wall, 4),
+        "serial_cpu_seconds": round(serial_cpu, 4),
+    }
+    if jobs != 1:
+        par_wall, _, _ = _timed(lambda: _sweep_grid(scale, jobs), repeats)
+        out["jobs"] = jobs if jobs else default_jobs()
+        out["parallel_wall_seconds"] = round(par_wall, 4)
+        out["parallel_speedup"] = round(serial_wall / par_wall, 3)
+    return out
+
+
+def measure_batched_vs_scalar(scale: str, repeats: int) -> dict:
+    """Batched drain vs the in-tree scalar reference on the same grid.
+
+    The scalar path is the seed implementation kept as an equivalence
+    reference (``UvmDriver.batched_migrations``); the two produce
+    bit-identical event counts (enforced by the property suite), so the
+    ratio isolates the tentpole's driver-hot-path speedup.
+    """
+    def with_flag(batched: bool) -> tuple[float, float]:
+        orig = uvm_driver.UvmDriver.__init__
+
+        def patched(self, *a, **kw):
+            orig(self, *a, **kw)
+            self.batched_migrations = batched
+
+        uvm_driver.UvmDriver.__init__ = patched
+        try:
+            wall, cpu, _ = _timed(lambda: _sweep_grid(scale, 1), repeats)
+        finally:
+            uvm_driver.UvmDriver.__init__ = orig
+        return wall, cpu
+
+    batched_wall, batched_cpu = with_flag(True)
+    scalar_wall, scalar_cpu = with_flag(False)
+    return {
+        "scale": scale,
+        "batched_wall_seconds": round(batched_wall, 4),
+        "scalar_wall_seconds": round(scalar_wall, 4),
+        "batched_cpu_seconds": round(batched_cpu, 4),
+        "scalar_cpu_seconds": round(scalar_cpu, 4),
+        "drain_speedup": round(scalar_cpu / batched_cpu, 3),
+    }
+
+
+def run(scale: str, repeats: int, jobs: int) -> dict:
+    report = {
+        "schema_version": 1,
+        "generated": datetime.datetime.now(datetime.timezone.utc)
+                     .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "throughput": measure_throughput(scale, repeats),
+        "sweep_grid": measure_sweep(scale, repeats, jobs),
+        "batched_vs_scalar": measure_batched_vs_scalar(scale, repeats),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="tiny scale, single repeat (CI smoke)")
+    ap.add_argument("--scale", default=None,
+                    help="workload scale (default: small, or tiny "
+                         "with --quick)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats, best-of (default 5, 1 "
+                         "with --quick)")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the parallel sweep "
+                         "measurement (0 = one per CPU, 1 = skip)")
+    ap.add_argument("--out", default=str(DEFAULT_OUT),
+                    help="output JSON path (default: BENCH_driver.json "
+                         "at the repo root)")
+    args = ap.parse_args(argv)
+    scale = args.scale or ("tiny" if args.quick else "small")
+    repeats = args.repeats or (1 if args.quick else 5)
+
+    report = run(scale, repeats, args.jobs)
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    tp = report["throughput"]
+    sg = report["sweep_grid"]
+    bs = report["batched_vs_scalar"]
+    print(f"throughput: {tp['accesses_per_second']:,.0f} simulated "
+          f"accesses/s ({tp['simulated_accesses']:,} accesses in "
+          f"{tp['wall_seconds']:.3f}s)")
+    line = (f"sweep grid: {sg['serial_wall_seconds']:.3f}s serial wall, "
+            f"{sg['serial_cpu_seconds']:.3f}s cpu")
+    if "parallel_speedup" in sg:
+        line += (f"; {sg['parallel_wall_seconds']:.3f}s with "
+                 f"{sg['jobs']} jobs ({sg['parallel_speedup']:.2f}x)")
+    print(line)
+    print(f"batched drain vs scalar reference: "
+          f"{bs['drain_speedup']:.2f}x (cpu {bs['batched_cpu_seconds']:.3f}s"
+          f" vs {bs['scalar_cpu_seconds']:.3f}s)")
+    print(f"[saved to {out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

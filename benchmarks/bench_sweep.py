@@ -17,9 +17,9 @@ from conftest import run_once
 LEVELS = (0.8, 1.0, 1.25, 1.5)
 
 
-def test_oversubscription_sweep_ra(benchmark, save_report, scale):
+def test_oversubscription_sweep_ra(benchmark, save_report, scale, jobs):
     res = run_once(benchmark, lambda: oversubscription_sweep(
-        "ra", levels=LEVELS, scale=scale,
+        "ra", levels=LEVELS, scale=scale, jobs=jobs,
         policies=(MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE)))
     save_report("sweep_ra", res.render())
 
@@ -38,9 +38,9 @@ def test_oversubscription_sweep_ra(benchmark, save_report, scale):
 
 
 def test_oversubscription_sweep_regular_control(benchmark, save_report,
-                                                scale):
+                                                scale, jobs):
     res = run_once(benchmark, lambda: oversubscription_sweep(
-        "fdtd", levels=LEVELS, scale=scale,
+        "fdtd", levels=LEVELS, scale=scale, jobs=jobs,
         policies=(MigrationPolicy.DISABLED, MigrationPolicy.ADAPTIVE)))
     save_report("sweep_fdtd", res.render())
     # The regular control never deviates much from baseline at any level.

@@ -14,6 +14,8 @@ Environment:
 
 * ``REPRO_SCALE`` -- workload scale preset (default ``small``; use
   ``tiny`` for a fast smoke pass, ``medium`` for bigger runs).
+* ``REPRO_JOBS`` -- worker processes for the experiment grids
+  (default ``1`` = serial; ``0`` = one per CPU).
 """
 
 from __future__ import annotations
@@ -30,6 +32,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def scale() -> str:
     """Workload scale for all figure benchmarks."""
     return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Grid worker processes (0 = one per CPU); results are unaffected."""
+    return int(os.environ.get("REPRO_JOBS", "1"))
 
 
 @pytest.fixture

@@ -17,11 +17,15 @@ from .experiments import (
     run_single,
     table1,
 )
+from .parallel import GridCell, default_jobs, run_grid
 from .sweeps import DEFAULT_LEVELS, SweepResult, oversubscription_sweep
 from .tables import ascii_bar_chart, comparison_table, format_table
 
 __all__ = [
     "DEFAULT_LEVELS",
+    "GridCell",
+    "default_jobs",
+    "run_grid",
     "NO_OVERSUB",
     "OVERSUB_125",
     "SeriesResult",

@@ -22,6 +22,7 @@ from ..sim.results import RunResult
 from ..sim.simulator import Simulator
 from ..workloads import make_workload
 from . import paper_data
+from .parallel import GridCell, run_grid
 from .tables import comparison_table, format_table
 
 #: Capacity factor used for "no oversubscription" runs (20% headroom).
@@ -114,6 +115,17 @@ def _workloads(subset=None) -> tuple[str, ...]:
     return tuple(subset) if subset else paper_data.WORKLOAD_ORDER
 
 
+def _run_labelled(specs, jobs: int) -> dict[tuple[str, str], RunResult]:
+    """Run ``[(label, workload, cell), ...]`` and key results by label.
+
+    The figure runners below all share this shape: build the full cell
+    list up front, fan it out (``jobs`` worker processes; 1 = serial,
+    0 = all cores), then look results up by (series label, workload).
+    """
+    results = run_grid([cell for _, _, cell in specs], max_workers=jobs)
+    return {(label, w): r for (label, w, _), r in zip(specs, results)}
+
+
 # ---------------------------------------------------------------------------
 # Table I
 # ---------------------------------------------------------------------------
@@ -156,19 +168,22 @@ def table1() -> str:
 # Figure 1 -- oversubscription sensitivity (Baseline policy)
 # ---------------------------------------------------------------------------
 
-def figure1(scale: str = "small", subset=None, seed: int = 0) -> SeriesResult:
+def figure1(scale: str = "small", subset=None, seed: int = 0,
+            jobs: int = 1) -> SeriesResult:
     """Runtime at none/125%/150% oversubscription, Baseline policy."""
     workloads = _workloads(subset)
+    specs = [(label, w,
+              GridCell(w, MigrationPolicy.DISABLED, ov, scale, seed=seed))
+             for w in workloads
+             for label, ov in (("no oversub", NO_OVERSUB),
+                               ("125% oversub", 1.25),
+                               ("150% oversub", 1.50))]
+    runs = _run_labelled(specs, jobs)
     measured = {"125% oversub": {}, "150% oversub": {}}
-    runs = {}
     for w in workloads:
-        base = run_single(w, MigrationPolicy.DISABLED, NO_OVERSUB,
-                          scale, seed=seed)
-        runs[("no oversub", w)] = base
-        for label, ov in (("125% oversub", 1.25), ("150% oversub", 1.50)):
-            r = run_single(w, MigrationPolicy.DISABLED, ov, scale, seed=seed)
-            runs[(label, w)] = r
-            measured[label][w] = r.normalized_runtime(base)
+        base = runs[("no oversub", w)]
+        for label in measured:
+            measured[label][w] = runs[(label, w)].normalized_runtime(base)
     paper = {
         "125% oversub": {w: paper_data.FIGURE1[w][1.25] for w in workloads},
         "150% oversub": {w: paper_data.FIGURE1[w][1.50] for w in workloads},
@@ -182,19 +197,21 @@ def figure1(scale: str = "small", subset=None, seed: int = 0) -> SeriesResult:
 # Figure 2 -- per-page access distribution (fdtd, sssp)
 # ---------------------------------------------------------------------------
 
-def figure2(scale: str = "small", seed: int = 0) -> dict[str, list[dict]]:
+def figure2(scale: str = "small", seed: int = 0,
+            jobs: int = 1) -> dict[str, list[dict]]:
     """Per-allocation access histograms for fdtd and sssp.
 
     Returns, per workload, the allocation summary rows (name, pages,
     read/write totals, accesses per page) that characterize the flat
     profile of fdtd vs. the hot/cold split of sssp.
     """
-    out = {}
-    for w in ("fdtd", "sssp"):
-        r = run_single(w, MigrationPolicy.DISABLED, NO_OVERSUB, scale,
-                       seed=seed, collect_histogram=True)
-        out[w] = r.stats.allocation_summary()
-    return out
+    workloads = ("fdtd", "sssp")
+    results = run_grid(
+        [GridCell(w, MigrationPolicy.DISABLED, NO_OVERSUB, scale,
+                  seed=seed, collect_histogram=True) for w in workloads],
+        max_workers=jobs)
+    return {w: r.stats.allocation_summary()
+            for w, r in zip(workloads, results)}
 
 
 def render_figure2(data: dict[str, list[dict]]) -> str:
@@ -214,19 +231,20 @@ def render_figure2(data: dict[str, list[dict]]) -> str:
 # Figure 3 -- access pattern over time (fdtd iters 2/4, sssp iters 3/5)
 # ---------------------------------------------------------------------------
 
-def figure3(scale: str = "small", seed: int = 0) -> dict[str, list]:
+def figure3(scale: str = "small", seed: int = 0,
+            jobs: int = 1) -> dict[str, list]:
     """Sampled (cycle, page) traces for selected iterations.
 
     Returns trace records for fdtd iterations 2 and 4 and sssp rounds
     3 and 5 -- the iterations the paper plots.
     """
-    out = {}
     wanted = {"fdtd": (2, 4), "sssp": (3, 5)}
-    for w, iters in wanted.items():
-        r = run_single(w, MigrationPolicy.DISABLED, NO_OVERSUB, scale,
-                       seed=seed, collect_trace=True)
-        out[w] = [rec for rec in r.stats.trace if rec.iteration in iters]
-    return out
+    results = run_grid(
+        [GridCell(w, MigrationPolicy.DISABLED, NO_OVERSUB, scale,
+                  seed=seed, collect_trace=True) for w in wanted],
+        max_workers=jobs)
+    return {w: [rec for rec in r.stats.trace if rec.iteration in iters]
+            for (w, iters), r in zip(wanted.items(), results)}
 
 
 def render_figure3(data: dict[str, list]) -> str:
@@ -251,20 +269,20 @@ def render_figure3(data: dict[str, list]) -> str:
 # Figure 4 -- sensitivity to the static threshold ts
 # ---------------------------------------------------------------------------
 
-def figure4(scale: str = "small", subset=None, seed: int = 0) -> SeriesResult:
+def figure4(scale: str = "small", subset=None, seed: int = 0,
+            jobs: int = 1) -> SeriesResult:
     """Always scheme at 125% oversubscription, ts in {8, 16, 32}."""
     workloads = _workloads(subset)
+    specs = [(f"ts={ts}", w,
+              GridCell(w, MigrationPolicy.ALWAYS, OVERSUB_125, scale,
+                       ts=ts, seed=seed))
+             for w in workloads for ts in (8, 16, 32)]
+    runs = _run_labelled(specs, jobs)
     measured = {"ts=16": {}, "ts=32": {}}
-    runs = {}
     for w in workloads:
-        base = run_single(w, MigrationPolicy.ALWAYS, OVERSUB_125, scale,
-                          ts=8, seed=seed)
-        runs[("ts=8", w)] = base
-        for ts in (16, 32):
-            r = run_single(w, MigrationPolicy.ALWAYS, OVERSUB_125, scale,
-                           ts=ts, seed=seed)
-            runs[(f"ts={ts}", w)] = r
-            measured[f"ts={ts}"][w] = r.normalized_runtime(base)
+        base = runs[("ts=8", w)]
+        for label in measured:
+            measured[label][w] = runs[(label, w)].normalized_runtime(base)
     paper = {
         "ts=16": {w: paper_data.FIGURE4[w][16] for w in workloads},
         "ts=32": {w: paper_data.FIGURE4[w][32] for w in workloads},
@@ -279,20 +297,21 @@ def figure4(scale: str = "small", subset=None, seed: int = 0) -> SeriesResult:
 # Figure 5 -- no oversubscription
 # ---------------------------------------------------------------------------
 
-def figure5(scale: str = "small", subset=None, seed: int = 0) -> SeriesResult:
+def figure5(scale: str = "small", subset=None, seed: int = 0,
+            jobs: int = 1) -> SeriesResult:
     """Baseline vs Always vs Adaptive with working sets that fit."""
     workloads = _workloads(subset)
+    specs = [(label, w, GridCell(w, pol, NO_OVERSUB, scale, seed=seed))
+             for w in workloads
+             for pol, label in ((MigrationPolicy.DISABLED, "baseline"),
+                                (MigrationPolicy.ALWAYS, "always"),
+                                (MigrationPolicy.ADAPTIVE, "adaptive"))]
+    runs = _run_labelled(specs, jobs)
     measured = {"always": {}, "adaptive": {}}
-    runs = {}
     for w in workloads:
-        base = run_single(w, MigrationPolicy.DISABLED, NO_OVERSUB, scale,
-                          seed=seed)
-        runs[("baseline", w)] = base
-        for pol, label in ((MigrationPolicy.ALWAYS, "always"),
-                           (MigrationPolicy.ADAPTIVE, "adaptive")):
-            r = run_single(w, pol, NO_OVERSUB, scale, seed=seed)
-            runs[(label, w)] = r
-            measured[label][w] = r.normalized_runtime(base)
+        base = runs[("baseline", w)]
+        for label in measured:
+            measured[label][w] = runs[(label, w)].normalized_runtime(base)
     paper = {"always": dict(paper_data.FIGURE5_ALWAYS)}
     return SeriesResult(
         "Figure 5", "no oversubscription (normalized to baseline; the "
@@ -304,26 +323,27 @@ def figure5(scale: str = "small", subset=None, seed: int = 0) -> SeriesResult:
 # Figures 6 and 7 -- the headline oversubscription comparison
 # ---------------------------------------------------------------------------
 
-def figure6_7(scale: str = "small", subset=None,
-              seed: int = 0) -> tuple[SeriesResult, SeriesResult]:
+def figure6_7(scale: str = "small", subset=None, seed: int = 0,
+              jobs: int = 1) -> tuple[SeriesResult, SeriesResult]:
     """All four schemes at 125% oversubscription (ts=8, p=8).
 
     Returns (Figure 6: normalized runtime, Figure 7: normalized thrash);
     the two figures share the same runs.
     """
     workloads = _workloads(subset)
+    specs = [(label, w, GridCell(w, pol, OVERSUB_125, scale, seed=seed))
+             for w in workloads
+             for pol, label in ((MigrationPolicy.DISABLED, "baseline"),
+                                (MigrationPolicy.ALWAYS, "always"),
+                                (MigrationPolicy.OVERSUB, "oversub"),
+                                (MigrationPolicy.ADAPTIVE, "adaptive"))]
+    runs = _run_labelled(specs, jobs)
     runtime = {"always": {}, "oversub": {}, "adaptive": {}}
     thrash = {"always": {}, "oversub": {}, "adaptive": {}}
-    runs = {}
     for w in workloads:
-        base = run_single(w, MigrationPolicy.DISABLED, OVERSUB_125, scale,
-                          seed=seed)
-        runs[("baseline", w)] = base
-        for pol, label in ((MigrationPolicy.ALWAYS, "always"),
-                           (MigrationPolicy.OVERSUB, "oversub"),
-                           (MigrationPolicy.ADAPTIVE, "adaptive")):
-            r = run_single(w, pol, OVERSUB_125, scale, seed=seed)
-            runs[(label, w)] = r
+        base = runs[("baseline", w)]
+        for label in runtime:
+            r = runs[(label, w)]
             runtime[label][w] = r.normalized_runtime(base)
             thrash[label][w] = (r.pages_thrashed / base.pages_thrashed
                                 if base.pages_thrashed else 0.0)
@@ -343,20 +363,23 @@ def figure6_7(scale: str = "small", subset=None,
 # ---------------------------------------------------------------------------
 
 def figure8(scale: str = "small", subset=None, seed: int = 0,
-            penalties=(2, 4, 8, 1 << 20)) -> SeriesResult:
+            penalties=(2, 4, 8, 1 << 20), jobs: int = 1) -> SeriesResult:
     """Adaptive scheme at 125% oversubscription, varying p."""
     workloads = _workloads(subset)
+    specs = [("baseline", w,
+              GridCell(w, MigrationPolicy.DISABLED, OVERSUB_125, scale,
+                       seed=seed))
+             for w in workloads]
+    specs += [(f"p={p}", w,
+               GridCell(w, MigrationPolicy.ADAPTIVE, OVERSUB_125, scale,
+                        p=p, seed=seed))
+              for w in workloads for p in penalties]
+    runs = _run_labelled(specs, jobs)
     measured = {f"p={p}": {} for p in penalties}
-    runs = {}
     for w in workloads:
-        base = run_single(w, MigrationPolicy.DISABLED, OVERSUB_125, scale,
-                          seed=seed)
-        runs[("baseline", w)] = base
-        for p in penalties:
-            r = run_single(w, MigrationPolicy.ADAPTIVE, OVERSUB_125, scale,
-                           p=p, seed=seed)
-            runs[(f"p={p}", w)] = r
-            measured[f"p={p}"][w] = r.normalized_runtime(base)
+        base = runs[("baseline", w)]
+        for label in measured:
+            measured[label][w] = runs[(label, w)].normalized_runtime(base)
     paper = {f"p={p}": {w: paper_data.FIGURE8[p][w] for w in workloads}
              for p in penalties if p in paper_data.FIGURE8}
     return SeriesResult(

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..config import MigrationPolicy
 from ..sim.results import RunResult
-from .experiments import run_single
+from .parallel import GridCell, run_grid
 from .tables import format_table
 
 #: Default oversubscription grid: fits-with-headroom up to 150%.
@@ -29,17 +29,32 @@ class SweepResult:
     #: ``{policy value: [RunResult per level]}``
     runs: dict[str, list[RunResult]]
 
+    def _series(self, policy: str) -> tuple[str, list[RunResult]]:
+        """Resolve a policy name, falling back to the first swept one.
+
+        A sweep does not have to include ``"disabled"`` (or whichever
+        policy a caller asks about); rather than raising ``KeyError``,
+        comparisons fall back to the first policy actually swept and
+        report the substitution.
+        """
+        if policy in self.runs:
+            return policy, self.runs[policy]
+        fallback = next(iter(self.runs))
+        return fallback, self.runs[fallback]
+
     def normalized(self, policy: str) -> list[float]:
         """Cycles of ``policy`` relative to its own fits-in-memory run."""
-        series = self.runs[policy]
+        _, series = self._series(policy)
         base = series[0].total_cycles
         return [r.total_cycles / base for r in series]
 
     def advantage(self, policy: str = "adaptive",
                   baseline: str = "disabled") -> list[float]:
         """Per-level runtime of ``policy`` relative to ``baseline``."""
+        _, pol_series = self._series(policy)
+        _, base_series = self._series(baseline)
         return [p.total_cycles / b.total_cycles
-                for p, b in zip(self.runs[policy], self.runs[baseline])]
+                for p, b in zip(pol_series, base_series)]
 
     def crossover(self, threshold: float = 0.9, policy: str = "adaptive",
                   baseline: str = "disabled") -> float | None:
@@ -54,18 +69,19 @@ class SweepResult:
                 return level
         return None
 
-    def render(self) -> str:
+    def render(self, baseline: str = "disabled") -> str:
         """Comparison table across levels."""
         headers = ["policy"] + [f"{int(l * 100)}%" for l in self.levels]
+        base_name, base = self._series(baseline)
         rows = []
         for pol, series in self.runs.items():
-            base = self.runs["disabled"]
             rows.append([pol] + [f"{r.total_cycles / b.total_cycles:.3f}"
                                  for r, b in zip(series, base)])
-        return format_table(
-            headers, rows,
-            title=f"== {self.workload}: runtime vs Baseline across "
-                  "oversubscription levels ==")
+        title = (f"== {self.workload}: runtime vs {base_name} across "
+                 "oversubscription levels ==")
+        if base_name != baseline:
+            title += f" (baseline {baseline!r} not swept)"
+        return format_table(headers, rows, title=title)
 
 
 def oversubscription_sweep(workload: str,
@@ -73,14 +89,20 @@ def oversubscription_sweep(workload: str,
                                      MigrationPolicy.ADAPTIVE),
                            levels: tuple[float, ...] = DEFAULT_LEVELS,
                            scale: str = "small", ts: int = 8, p: int = 8,
-                           seed: int = 0) -> SweepResult:
-    """Run ``workload`` under each policy at each oversubscription level."""
+                           seed: int = 0, jobs: int = 1) -> SweepResult:
+    """Run ``workload`` under each policy at each oversubscription level.
+
+    ``jobs`` > 1 fans the (policy x level) grid out across worker
+    processes (0 = one per CPU); cells are independent and individually
+    seeded, so the results are identical to a serial run.
+    """
     if not levels:
         raise ValueError("need at least one oversubscription level")
+    policies = tuple(policies)
+    cells = [GridCell(workload, pol, level, scale, ts=ts, p=p, seed=seed)
+             for pol in policies for level in levels]
+    results = run_grid(cells, max_workers=jobs)
     runs: dict[str, list[RunResult]] = {}
-    for pol in policies:
-        runs[pol.value] = [
-            run_single(workload, pol, level, scale, ts=ts, p=p, seed=seed)
-            for level in levels
-        ]
+    for i, pol in enumerate(policies):
+        runs[pol.value] = results[i * len(levels):(i + 1) * len(levels)]
     return SweepResult(workload=workload, levels=tuple(levels), runs=runs)

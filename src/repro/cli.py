@@ -11,7 +11,11 @@ Commands
     oversubscription level and print normalized runtimes.
 ``figure``
     Regenerate one of the paper's tables/figures and print the
-    paper-vs-measured comparison.
+    paper-vs-measured comparison (``--jobs N`` fans the experiment
+    grid out over worker processes).
+``sweep``
+    Map a workload's runtime across oversubscription levels and
+    policies (also ``--jobs``-parallel).
 ``trace``
     Record a workload's access trace to a file, or replay a trace file
     under a chosen configuration.
@@ -110,24 +114,28 @@ def cmd_compare(args) -> int:
 
 #: Figures whose data is a SeriesResult (CSV-exportable).
 _FIGURE_SERIES = {
-    "fig1": lambda scale: analysis.figure1(scale),
-    "fig4": lambda scale: analysis.figure4(scale),
-    "fig5": lambda scale: analysis.figure5(scale),
-    "fig6": lambda scale: analysis.figure6_7(scale)[0],
-    "fig7": lambda scale: analysis.figure6_7(scale)[1],
-    "fig8": lambda scale: analysis.figure8(scale),
+    "fig1": lambda scale, jobs: analysis.figure1(scale, jobs=jobs),
+    "fig4": lambda scale, jobs: analysis.figure4(scale, jobs=jobs),
+    "fig5": lambda scale, jobs: analysis.figure5(scale, jobs=jobs),
+    "fig6": lambda scale, jobs: analysis.figure6_7(scale, jobs=jobs)[0],
+    "fig7": lambda scale, jobs: analysis.figure6_7(scale, jobs=jobs)[1],
+    "fig8": lambda scale, jobs: analysis.figure8(scale, jobs=jobs),
 }
 
 _FIGURES = {
-    "table1": lambda scale: analysis.table1(),
-    "fig1": lambda scale: analysis.figure1(scale).render(),
-    "fig2": lambda scale: analysis.render_figure2(analysis.figure2(scale)),
-    "fig3": lambda scale: analysis.render_figure3(analysis.figure3(scale)),
-    "fig4": lambda scale: analysis.figure4(scale).render(),
-    "fig5": lambda scale: analysis.figure5(scale).render(),
-    "fig6": lambda scale: analysis.figure6_7(scale)[0].render(),
-    "fig7": lambda scale: analysis.figure6_7(scale)[1].render(),
-    "fig8": lambda scale: analysis.figure8(scale).render(),
+    "table1": lambda scale, jobs: analysis.table1(),
+    "fig1": lambda scale, jobs: analysis.figure1(scale, jobs=jobs).render(),
+    "fig2": lambda scale, jobs: analysis.render_figure2(
+        analysis.figure2(scale, jobs=jobs)),
+    "fig3": lambda scale, jobs: analysis.render_figure3(
+        analysis.figure3(scale, jobs=jobs)),
+    "fig4": lambda scale, jobs: analysis.figure4(scale, jobs=jobs).render(),
+    "fig5": lambda scale, jobs: analysis.figure5(scale, jobs=jobs).render(),
+    "fig6": lambda scale, jobs: analysis.figure6_7(scale,
+                                                   jobs=jobs)[0].render(),
+    "fig7": lambda scale, jobs: analysis.figure6_7(scale,
+                                                   jobs=jobs)[1].render(),
+    "fig8": lambda scale, jobs: analysis.figure8(scale, jobs=jobs).render(),
 }
 
 
@@ -140,15 +148,29 @@ def cmd_figure(args) -> int:
             if series is None:
                 raise SystemExit(
                     f"--csv is only available for bar figures, not {fid!r}")
-            chunks.append(series(args.scale).to_csv())
+            chunks.append(series(args.scale, args.jobs).to_csv())
         else:
-            chunks.append(_FIGURES[fid](args.scale))
+            chunks.append(_FIGURES[fid](args.scale, args.jobs))
     text = "\n\n".join(chunks) if not args.csv else "".join(chunks)
     print(text)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
         print(f"[saved to {args.out}]")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    try:
+        policies = tuple(MigrationPolicy(p)
+                         for p in args.policies.split(","))
+        levels = tuple(float(l) for l in args.levels.split(","))
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: {exc}") from None
+    res = analysis.oversubscription_sweep(
+        args.workload, policies=policies, levels=levels, scale=args.scale,
+        seed=args.seed, jobs=args.jobs)
+    print(res.render())
     return 0
 
 
@@ -220,11 +242,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("id", choices=sorted(_FIGURES) + ["all"])
     p.add_argument("--scale", default="small", choices=SCALES)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the experiment grid "
+                        "(0 = one per CPU, 1 = serial)")
     p.add_argument("--out", default=None, help="also save to this file")
     p.add_argument("--csv", action="store_true",
                    help="emit CSV instead of the rendered table "
                         "(bar figures only)")
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("sweep", help="oversubscription sweep on one workload")
+    p.add_argument("workload", choices=workload_names(extended=True))
+    p.add_argument("--scale", default="small", choices=SCALES)
+    p.add_argument("--levels",
+                   default=",".join(str(l) for l in analysis.DEFAULT_LEVELS),
+                   help="comma-separated oversubscription levels")
+    p.add_argument("--policies", default="disabled,adaptive",
+                   help="comma-separated migration policies to sweep")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep grid "
+                        "(0 = one per CPU, 1 = serial)")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("trace", help="record or replay access traces")
     tsub = p.add_subparsers(dest="trace_cmd", required=True)

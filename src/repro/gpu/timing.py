@@ -37,8 +37,14 @@ class WaveTiming:
 
     def merge(self, other: "WaveTiming") -> None:
         """Accumulate ``other`` into this breakdown."""
-        for f in self.__dataclass_fields__:
+        for f in _WAVE_TIMING_FIELDS:
             setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+#: Field names of :class:`WaveTiming`, precomputed once: ``merge`` runs
+#: once per wave on the hot path.
+_WAVE_TIMING_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in WaveTiming.__dataclass_fields__.values())
 
 
 class TimingModel:

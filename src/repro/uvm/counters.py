@@ -38,6 +38,9 @@ class AccessCounterFile:
         #: Number of times each field has been globally halved (statistic).
         self.count_halvings = 0
         self.roundtrip_halvings = 0
+        #: Whether any block has ever taken an eviction round trip; lets
+        #: the driver skip thrash accounting until the first eviction.
+        self.has_roundtrips = False
 
     @property
     def total_blocks(self) -> int:
@@ -62,14 +65,17 @@ class AccessCounterFile:
         blocks, as described in the paper.
         """
         np.add.at(self._counts, blocks, amounts.astype(np.uint64, copy=False))
-        while self._counts.max(initial=np.uint64(0)) >= self.counter_max:
+        # Only just-updated blocks can newly saturate (counts never grow
+        # elsewhere), so the check scans the update, not the whole file.
+        while self._counts[blocks].max(initial=np.uint64(0)) >= self.counter_max:
             self._counts >>= np.uint64(1)
             self.count_halvings += 1
 
     def add_roundtrip(self, blocks: np.ndarray) -> None:
         """Record an eviction round trip for each block in ``blocks``."""
         self._roundtrips[blocks] += np.uint64(1)
-        while self._roundtrips.max(initial=np.uint64(0)) > self.roundtrip_max:
+        self.has_roundtrips = True
+        while self._roundtrips[blocks].max(initial=np.uint64(0)) > self.roundtrip_max:
             self._roundtrips >>= np.uint64(1)
             self.roundtrip_halvings += 1
 

@@ -32,7 +32,7 @@ from ..memory.device import DeviceMemory
 from ..memory.host import HostMemory
 from .counters import AccessCounterFile
 from .eviction import ChunkDirectory, select_victims
-from .prefetchers import make_prefetcher
+from .prefetchers import TreePrefetchStrategy, make_prefetcher
 from .residency import ResidencyMap
 from .tree import PrefetchTree
 
@@ -75,8 +75,15 @@ class WaveOutcome:
 
     def merge(self, other: "WaveOutcome") -> None:
         """Accumulate ``other`` into this outcome (for aggregation)."""
-        for f in self.__dataclass_fields__:
+        for f in _WAVE_OUTCOME_FIELDS:
             setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+#: Field names of :class:`WaveOutcome`, precomputed once: ``merge`` runs
+#: twice per wave on the hottest path and must not re-walk
+#: ``__dataclass_fields__`` every call.
+_WAVE_OUTCOME_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in WaveOutcome.__dataclass_fields__.values())
 
 
 @dataclass
@@ -125,9 +132,20 @@ class UvmDriver:
             kind, config.memory.prefetch_degree, seed=config.seed)
         self.stats = DriverCounters()
         self._clock = 0  # logical LRU timestamp, bumped per wave
-        # Per-wave caches for LFU victim ordering.
-        self._heat_cache: np.ndarray | None = None
+        #: Resolve migrations through the batched drain (chunk-grouped
+        #: bulk installs).  The scalar drain is kept as the reference
+        #: implementation; the equivalence property tests and the perf
+        #: harness flip this flag to compare the two paths.
+        self.batched_migrations = True
+        # Per-wave LFU victim-ordering caches: per-chunk resident heat
+        # sums and any-dirty flags, built lazily at the wave's first
+        # pressure event and updated incrementally on install/evict.
+        self._heat_sum: np.ndarray | None = None
         self._dirty_cache: np.ndarray | None = None
+        # Per-wave LRU victim order: ``last_touch`` only moves at the
+        # start of a wave (installs re-touch already-touched chunks), so
+        # the argsort is computed at most once per wave.
+        self._lru_order: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # wave processing
@@ -154,18 +172,37 @@ class UvmDriver:
         if pages.size == 0:
             return out
         self._clock += 1
-        self._heat_cache = None
+        self._heat_sum = None
         self._dirty_cache = None
+        self._lru_order = None
 
+        # Group the wave's accesses per basic block: sort once, then
+        # segment-reduce, which beats np.unique + two weighted bincounts
+        # on the per-wave hot path.
         blocks = pages >> layout.BLOCK_SHIFT
-        ublocks, inv = np.unique(blocks, return_inverse=True)
-        totals = np.bincount(inv, weights=counts,
-                             minlength=ublocks.size).astype(np.int64)
-        w_counts = np.bincount(inv, weights=counts * is_write,
-                               minlength=ublocks.size).astype(np.int64)
+        if blocks.size == 1 or bool((blocks[1:] >= blocks[:-1]).all()):
+            # Sweep-style waves arrive block-sorted: skip the argsort
+            # and the three gather permutations entirely.
+            sorted_blocks = blocks
+            sorted_counts = counts
+            sorted_w = counts * is_write
+        else:
+            order = np.argsort(blocks, kind="stable")
+            sorted_blocks = blocks[order]
+            sorted_counts = counts[order]
+            sorted_w = (counts * is_write)[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_blocks[1:] != sorted_blocks[:-1])))
+        ublocks = sorted_blocks[starts]
+        totals = np.add.reduceat(sorted_counts, starts)
+        w_counts = np.add.reduceat(sorted_w, starts)
 
-        # LRU touch + warp pinning for every addressed chunk.
-        touched_chunks = np.unique(self.directory.chunk_of_block[ublocks])
+        # LRU touch + warp pinning for every addressed chunk.  The chunk
+        # ids of sorted unique blocks are non-decreasing (chunks are laid
+        # out in block order), so run compression replaces np.unique.
+        touched_chunks = self.directory.chunk_of_block[ublocks]
+        touched_chunks = touched_chunks[np.concatenate(
+            ([True], touched_chunks[1:] != touched_chunks[:-1]))]
         touched_chunks = touched_chunks[touched_chunks >= 0]
         self.directory.touch(touched_chunks, self._clock)
         pinned = np.zeros(self.directory.num_chunks, dtype=bool)
@@ -177,12 +214,12 @@ class UvmDriver:
         out.n_local += int(totals[res_mask].sum())
         dirty_now = ublocks[res_mask & (w_counts > 0)]
         if dirty_now.size:
-            self.residency.mark_dirty(dirty_now)
+            self._note_dirty(dirty_now)
 
         # -- non-resident blocks: policy decision -------------------------
         # (Decided against pre-wave counter values, then counters updated.)
         nr = ~res_mask
-        if np.any(nr):
+        if nr.any():
             self._handle_far_accesses(ublocks[nr], totals[nr], w_counts[nr],
                                       pinned, out)
 
@@ -203,7 +240,7 @@ class UvmDriver:
 
         # Programmer hints override the policy (Section III-C).
         preferred = self.block_preferred_host[nrb]
-        if np.any(preferred):
+        if preferred.any():
             ts = self.config.policy.static_threshold
             volta = self.counters.volta_counts[nrb]
             td = np.where(preferred, np.maximum(td, ts), td)
@@ -211,7 +248,7 @@ class UvmDriver:
 
         migrate = (c0 + k) >= td
         pinned_host = self.block_pinned_host[nrb]
-        if np.any(pinned_host):
+        if pinned_host.any():
             migrate &= ~pinned_host
 
         # Accesses served remotely before a (possible) migration trigger.
@@ -228,25 +265,34 @@ class UvmDriver:
             out.mapping_faults += int(fresh.size)
             self.host.map_remote(staying)
 
-        # Migrations run block-by-block so prefetch and eviction interact
-        # in arrival order, like fault-buffer draining in the real driver.
+        # Migrations drain in arrival order so prefetch and eviction
+        # interact like fault-buffer draining in the real driver.  The
+        # batched drain defers bookkeeping into chunk-grouped bulk
+        # installs; the scalar drain is the reference implementation.
         mig = nrb[migrate]
-        mig_k = k[migrate]
-        mig_kw = kw[migrate]
-        mig_remote = remote[migrate]
+        if mig.size:
+            drain = (self._drain_migrations_batched if self.batched_migrations
+                     else self._drain_migrations_scalar)
+            drain(mig, k[migrate], kw[migrate], remote[migrate], pinned, out)
+
+    def _drain_migrations_scalar(self, mig: np.ndarray, mig_k: np.ndarray,
+                                 mig_kw: np.ndarray, mig_remote: np.ndarray,
+                                 pinned: np.ndarray,
+                                 out: WaveOutcome) -> None:
+        """Reference drain: migrations resolved one block at a time."""
         for b, kk, kkw, rr in zip(mig.tolist(), mig_k.tolist(),
                                   mig_kw.tolist(), mig_remote.tolist()):
             if self.residency.resident[b]:
                 # A prefetch earlier in this loop already pulled it in.
                 out.n_local += int(kk - rr)
                 if kkw > 0:
-                    self.residency.mark_dirty(np.array([b]))
+                    self._note_dirty(np.array([b]))
                 continue
             if self._migrate_block(int(b), pinned, out):
                 # One access is the fault itself; the rest hit locally.
                 out.n_local += int(kk - rr - 1)
                 if kkw > 0:
-                    self.residency.mark_dirty(np.array([b]))
+                    self._note_dirty(np.array([b]))
             else:
                 # No room even after eviction attempts: serve remotely.
                 extra = int(kk - rr)
@@ -254,6 +300,132 @@ class UvmDriver:
                 if not self.host.remote_mapped[b]:
                     out.mapping_faults += 1
                     self.host.map_remote(np.array([b]))
+
+    def _drain_migrations_batched(self, mig: np.ndarray, mig_k: np.ndarray,
+                                  mig_kw: np.ndarray, mig_remote: np.ndarray,
+                                  pinned: np.ndarray,
+                                  out: WaveOutcome) -> None:
+        """Batched drain: defer installs into chunk-grouped bulk flushes.
+
+        Produces bit-identical event counts to the scalar drain.  Blocks
+        still drain in arrival order (prefetch decisions are inherently
+        sequential within a chunk's tree), but as long as the device has
+        room, installs only append to per-chunk pending batches that are
+        committed with one array operation per chunk.  Pending state is
+        flushed before any eviction, so victim selection, write-back
+        accounting and round-trip counters observe exactly the state the
+        scalar drain would.
+        """
+        resident = self.residency.resident
+        trees = self.trees
+        # The default tree strategy is a bare delegation to the chunk
+        # tree; calling the tree method unbound skips that frame on
+        # every fault of the drain.
+        prefetch = (PrefetchTree.on_fault
+                    if type(self.prefetcher) is TreePrefetchStrategy
+                    else self.prefetcher.on_fault)
+        counters = self.counters
+        pending: dict[int, list[int]] = {}
+        pending_set: set[int] = set()
+        pending_dirty: list[int] = []
+
+        def flush() -> None:
+            roundtrips = counters.roundtrips
+            for cid, blks in pending.items():
+                batch = np.array(blks, dtype=np.int64)
+                self._install(batch, cid)
+                if counters.has_roundtrips:
+                    thrashy = batch[roundtrips[batch] > 0]
+                    out.thrash_migrations += int(thrashy.size)
+                    self.stats.thrashed_block_ids.update(thrashy.tolist())
+            pending.clear()
+            pending_set.clear()
+            if pending_dirty:
+                self._note_dirty(np.array(pending_dirty, dtype=np.int64))
+                pending_dirty.clear()
+
+        # Chunk geometry is static: gather it for the whole batch once.
+        cids = self.directory.chunk_of_block[mig]
+        if cids.min() < 0:
+            bad = int(mig[np.argmin(cids)])
+            raise RuntimeError(f"block {bad} belongs to no chunk")
+        firsts = self.directory.first_block[cids]
+
+        #: Frames still free once all pending installs commit; kept as a
+        #: plain int so the drain loop never touches the device ledger.
+        free = self.device.free_blocks
+        # Hot counters accumulate in locals and fold into ``out`` once.
+        n_local = faults = prefetched = 0
+        for b, kk, kkw, rr, cid, first in zip(
+                mig.tolist(), mig_k.tolist(), mig_kw.tolist(),
+                mig_remote.tolist(), cids.tolist(), firsts.tolist()):
+            if resident[b] or b in pending_set:
+                # A prefetch earlier in this drain already pulled it in.
+                n_local += kk - rr
+                if kkw > 0:
+                    pending_dirty.append(b)
+                continue
+            if free < 1:
+                # The fault itself needs an eviction: commit pending
+                # state, then take the scalar path for this block.
+                flush()
+                if self._migrate_block(b, pinned, out):
+                    n_local += kk - rr - 1
+                    if kkw > 0:
+                        self._note_dirty(np.array([b]))
+                else:
+                    out.n_remote += kk - rr
+                    if not self.host.remote_mapped[b]:
+                        out.mapping_faults += 1
+                        self.host.map_remote(np.array([b]))
+                free = self.device.free_blocks
+                continue
+            # Fast path: the fault block fits without eviction.
+            pf_leaves = prefetch(trees[cid], b - first)
+            chunk_pending = pending.get(cid)
+            if chunk_pending is None:
+                chunk_pending = pending[cid] = []
+            chunk_pending.append(b)
+            pending_set.add(b)
+            free -= 1
+            faults += 1
+            n_local += kk - rr - 1
+            if kkw > 0:
+                pending_dirty.append(b)
+            if not pf_leaves.size:
+                continue
+            pf_blocks = first + pf_leaves
+            if free >= pf_leaves.size:
+                pf_list = pf_blocks.tolist()
+                chunk_pending.extend(pf_list)
+                pending_set.update(pf_list)
+                free -= len(pf_list)
+                prefetched += len(pf_list)
+            else:
+                # The prefetch batch needs an eviction: commit pending
+                # state (including this fault block), then make room
+                # exactly as the scalar path would.
+                flush()
+                never = np.zeros(self.directory.num_chunks, dtype=bool)
+                never[cid] = True
+                if self._make_room(int(pf_blocks.size), pinned, never, out):
+                    self._install(pf_blocks, cid)
+                    out.prefetched_blocks += int(pf_blocks.size)
+                    if counters.has_roundtrips:
+                        thrashy = pf_blocks[
+                            counters.roundtrips[pf_blocks] > 0]
+                        out.thrash_migrations += int(thrashy.size)
+                        self.stats.thrashed_block_ids.update(thrashy.tolist())
+                else:
+                    # Could not hold the prefetch: roll the leaves back
+                    # out of the tree.
+                    self._rebuild_tree(cid)
+                free = self.device.free_blocks
+        flush()
+        out.n_local += n_local
+        out.fault_migrations += faults
+        out.migrated_blocks += faults
+        out.prefetched_blocks += prefetched
 
     # ------------------------------------------------------------------
     # migration machinery
@@ -303,16 +475,29 @@ class UvmDriver:
         self.counters.reset_volta(blocks)
         self.ever_migrated[blocks] = True
         self.directory.occupancy[cid] += int(blocks.size)
-        self.directory.touch(np.array([cid]), self._clock)
+        # Migrations land in chunks the wave touched, so this is almost
+        # always a no-op; when it isn't, the cached LRU order is stale.
+        if self.directory.last_touch[cid] != self._clock:
+            self.directory.last_touch[cid] = self._clock
+            self._lru_order = None
+        if self._heat_sum is not None:
+            # Newly resident blocks contribute their heat to the chunk.
+            self._heat_sum[cid] += float(self.counters.counts[blocks].sum())
+
+    def _note_dirty(self, blocks: np.ndarray) -> None:
+        """Mark blocks dirty, keeping the LFU dirty cache in sync."""
+        self.residency.mark_dirty(blocks)
+        if self._dirty_cache is not None:
+            # Duplicate chunk ids are harmless for a boolean set.
+            self._dirty_cache[self.directory.chunk_of_block[blocks]] = True
 
     def _rebuild_tree(self, cid: int) -> None:
         """Resynchronize a chunk's tree with the residency map."""
         tree = self.trees[cid]
         tree.clear()
         chunk_blocks = self.directory.blocks_of_chunk(cid)
-        first = int(self.directory.first_block[cid])
-        for b in chunk_blocks[self.residency.resident[chunk_blocks]]:
-            tree.mark_resident(int(b) - first)
+        tree.install_leaves(
+            np.flatnonzero(self.residency.resident[chunk_blocks]))
 
     def _make_room(self, n_blocks: int, pinned: np.ndarray,
                    never: np.ndarray, out: WaveOutcome) -> bool:
@@ -326,17 +511,24 @@ class UvmDriver:
             return True
         self.device.note_pressure()
         needed = n_blocks - self.device.free_blocks
-        heat = dirty = None
+        heat = dirty = order = None
         if self.config.memory.replacement.value == "lfu":
-            if self._heat_cache is None:
-                self._heat_cache = self.directory.chunk_heat_buckets(
+            if self._heat_sum is None:
+                self._heat_sum = self.directory.resident_heat(
                     self.counters.counts, self.residency.resident)
                 self._dirty_cache = self.directory.chunk_dirty(self.residency.dirty)
-            heat, dirty = self._heat_cache, self._dirty_cache
+            heat = self.directory.heat_buckets_from_sums(self._heat_sum)
+            dirty = self._dirty_cache
+        else:
+            if self._lru_order is None:
+                self._lru_order = np.argsort(self.directory.last_touch,
+                                             kind="stable")
+            order = self._lru_order
         try:
             victims = select_victims(
                 self.directory, needed, self.config.memory.replacement,
-                pinned, heat=heat, dirty_any=dirty, never=never)
+                pinned, heat=heat, dirty_any=dirty, never=never,
+                order=order)
         except RuntimeError:
             return False
         block_granular = (self.config.memory.eviction_granularity
@@ -361,16 +553,17 @@ class UvmDriver:
         order = np.argsort(self.counters.counts[rblocks], kind="stable")
         victims = rblocks[order[:n_wanted]]
         first = int(self.directory.first_block[cid])
-        tree = self.trees[cid]
-        for b in victims:
-            tree.remove(int(b) - first)
+        self.trees[cid].remove_leaves(victims - first)
         n_dirty = self.residency.evict(victims)
         self.counters.add_roundtrip(victims)
         self.host.accept_eviction(victims)
         self.device.release(int(victims.size))
         self.directory.occupancy[cid] -= int(victims.size)
-        self._dirty_cache = None
-        self._heat_cache = None
+        if self._heat_sum is not None:
+            self._heat_sum[cid] -= float(self.counters.counts[victims].sum())
+        if self._dirty_cache is not None:
+            self._dirty_cache[cid] = bool(
+                np.any(self.residency.dirty[chunk_blocks]))
         out.evicted_chunks += int(victims.size == rblocks.size)
         out.evicted_blocks += int(victims.size)
         out.writeback_blocks += n_dirty
@@ -387,9 +580,10 @@ class UvmDriver:
         self.device.release(int(rblocks.size))
         self.trees[cid].clear()
         self.directory.occupancy[cid] = 0
-        # Eviction invalidates the per-wave dirty cache for LFU ordering.
-        self._dirty_cache = None
-        self._heat_cache = None
+        if self._heat_sum is not None:
+            self._heat_sum[cid] = 0.0
+        if self._dirty_cache is not None:
+            self._dirty_cache[cid] = False
         out.evicted_chunks += 1
         out.evicted_blocks += int(rblocks.size)
         out.writeback_blocks += n_dirty

@@ -60,6 +60,28 @@ class ChunkDirectory:
                            weights=counters[valid].astype(np.float64),
                            minlength=self.num_chunks)
 
+    def resident_heat(self, counters: np.ndarray,
+                      resident: np.ndarray) -> np.ndarray:
+        """Per-chunk sum of access counts over device-resident blocks.
+
+        The driver builds this once per wave and then maintains it
+        incrementally across installs and evictions (integer-valued
+        float64 arithmetic, so the running sums stay exact).
+        """
+        valid = (self.chunk_of_block >= 0) & resident
+        return np.bincount(self.chunk_of_block[valid],
+                           weights=counters[valid].astype(np.float64),
+                           minlength=self.num_chunks)
+
+    def heat_buckets_from_sums(self, heat_sum: np.ndarray) -> np.ndarray:
+        """LFU ordering buckets from maintained resident-heat sums.
+
+        Density is taken over the chunk's current occupancy; see
+        :meth:`chunk_heat_buckets` for the bucketing rationale.
+        """
+        density = heat_sum / np.maximum(self.occupancy, 1)
+        return np.floor(np.log2(np.maximum(density, 1.0))).astype(np.int64)
+
     def chunk_heat_buckets(self, counters: np.ndarray,
                            resident: np.ndarray | None = None) -> np.ndarray:
         """LFU ordering key: log2 bucket of per-block access density.
@@ -95,18 +117,44 @@ class ChunkDirectory:
         return counts > 0
 
 
+_I64_MAX = np.int64(np.iinfo(np.int64).max)
+
+
+def _victim_key(directory: ChunkDirectory,
+                policy: ReplacementPolicy,
+                heat: np.ndarray | None,
+                dirty_any: np.ndarray | None) -> np.ndarray:
+    """Per-chunk eviction-ordering key, smallest evicts first.
+
+    LFU packs (heat bucket, dirty, last_touch) into one 64-bit composite
+    instead of a three-pass lexsort: heat buckets are small non-negative
+    ints and the LRU clock counts waves, so heat is the primary key and
+    ``last_touch`` breaks ties.  LRU is just ``last_touch``.
+    """
+    if policy is ReplacementPolicy.LFU:
+        if heat is None or dirty_any is None:
+            raise ValueError("LFU selection needs heat and dirty information")
+        return ((heat << np.int64(33)) | (dirty_any << np.int64(32))
+                | directory.last_touch)
+    return directory.last_touch
+
+
 def select_victims(directory: ChunkDirectory,
                    needed_blocks: int,
                    policy: ReplacementPolicy,
                    pinned: np.ndarray,
                    heat: np.ndarray | None = None,
                    dirty_any: np.ndarray | None = None,
-                   never: np.ndarray | None = None) -> list[int]:
+                   never: np.ndarray | None = None,
+                   order: np.ndarray | None = None) -> list[int]:
     """Choose chunks to evict until ``needed_blocks`` frames are freed.
 
     ``pinned`` chunks (addressed by scheduled warps) are avoided but may
     be reclaimed as a last resort; ``never`` chunks (the chunk a
     migration is currently filling) are excluded unconditionally.
+    ``order`` optionally supplies a precomputed victim ordering (the
+    driver caches the LRU argsort across a wave); it must match what
+    this function would compute from the current metadata.
 
     Returns chunk ids in eviction order.  Raises ``RuntimeError`` if even
     evicting everything cannot free enough space (capacity misconfigured).
@@ -117,16 +165,27 @@ def select_victims(directory: ChunkDirectory,
     populated = occ > 0
     if never is not None:
         populated = populated & ~never
-    if policy is ReplacementPolicy.LFU:
-        if heat is None or dirty_any is None:
-            raise ValueError("LFU selection needs heat and dirty information")
-        # lexsort: last key is the primary sort key.
-        order = np.lexsort((directory.last_touch, dirty_any.astype(np.int64), heat))
-    else:
-        order = np.argsort(directory.last_touch, kind="stable")
-
     full = occ == directory.num_blocks
+
+    if needed_blocks == 1:
+        # Any populated chunk covers a one-frame deficit -- the common
+        # case when a single fault block needs room -- so the best
+        # victim is an argmin over the ordering key, no sort at all.
+        # np.argmin's first-occurrence tie-break matches the stable
+        # argsort the general path uses.
+        key = _victim_key(directory, policy, heat, dirty_any)
+        for tier_mask in (populated & full & ~pinned,
+                          populated & ~pinned,
+                          populated):
+            if tier_mask.any():
+                return [int(np.argmin(np.where(tier_mask, key, _I64_MAX)))]
+        raise RuntimeError("cannot free 1 block: nothing resident")
+
+    if order is None:
+        key = _victim_key(directory, policy, heat, dirty_any)
+        order = np.argsort(key, kind="stable")
     victims: list[int] = []
+    chosen = np.zeros(directory.num_chunks, dtype=bool)
     freed = 0
     # Candidate tiers: (full, unpinned) -> (partial, unpinned) -> (any populated).
     for tier_mask in (populated & full & ~pinned,
@@ -134,12 +193,17 @@ def select_victims(directory: ChunkDirectory,
                       populated):
         if freed >= needed_blocks:
             break
-        for cid in order:
-            if freed >= needed_blocks:
-                break
-            if tier_mask[cid] and cid not in victims:
-                victims.append(int(cid))
-                freed += int(occ[cid])
+        # Walk the tier's candidates in eviction order, taking chunks
+        # until their cumulative occupancy covers the deficit.
+        cands = order[(tier_mask & ~chosen)[order]]
+        if cands.size == 0:
+            continue
+        cum = freed + np.cumsum(occ[cands])
+        cut = int(np.searchsorted(cum, needed_blocks, side="left"))
+        take = cands[:min(cut + 1, cands.size)]
+        victims.extend(int(c) for c in take)
+        chosen[take] = True
+        freed = int(cum[take.size - 1])
     if freed < needed_blocks:
         raise RuntimeError(
             f"cannot free {needed_blocks} blocks: only {freed} resident"

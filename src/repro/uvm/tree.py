@@ -13,47 +13,115 @@ transfers between 64KB and half the chunk (1MB for a full chunk).
 For a sequential sweep this faults on leaves 0, 1, 2, 4, 8, 16 of a
 32-leaf chunk and prefetches the rest -- the behaviour published for the
 CUDA driver's prefetcher.
+
+Representation
+--------------
+A chunk holds at most 32 leaves, so leaf residency is authoritatively a
+Python int bitmask: subtree occupancy is one ``bit_count`` of a masked
+range, which makes the per-fault balancing walk allocation-free.  The
+heap-indexed occupancy-count array that mirrors the hardware structure
+is kept too -- bulk installs propagate counts level-by-level with a
+single ``np.add.at`` -- but it is maintained lazily: the scalar fault
+path only touches the bitmask and the counts are rebuilt from it on the
+next bulk or introspection access.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+#: Shared empty result for prefetch-free faults (treated as read-only).
+_NO_PREFETCH: np.ndarray = np.empty(0, dtype=np.int64)
+
+
+def _bits_ascending(bits: int) -> list[int]:
+    """Set-bit positions of ``bits``, lowest first."""
+    out: list[int] = []
+    while bits:
+        low = bits & -bits
+        out.append(low.bit_length() - 1)
+        bits ^= low
+    return out
+
+
+def _build_tables(num_leaves: int, levels: int) -> tuple:
+    """Precompute the heap-geometry lookup tables for one tree size.
+
+    One tree exists per chunk, so thousands of instances share a table.
+    Returns ``(anc, node_mask, leaf_submasks)``:
+
+    * ``anc`` -- (num_leaves, levels) heap indices of each leaf's
+      ancestors, nearest first (for heap index ``i`` the level-``l``
+      ancestor is ``((i + 1) >> l) - 1``);
+    * ``node_mask`` -- bitmask of the leaf range under each heap node;
+    * ``leaf_submasks`` -- per leaf, ``(node_mask, span // 2)`` of each
+      of its ancestors, nearest first (the fault walk's working set; the
+      >50% test is ``popcount(mask & node_mask) > span // 2``).
+    """
+    shifts = np.arange(1, levels + 1, dtype=np.int64)[:, None]
+    leaf_ids = np.arange(num_leaves, dtype=np.int64)
+    anc = np.ascontiguousarray(((num_leaves + leaf_ids) >> shifts).T - 1)
+    node_mask: list[int] = []
+    node_span: list[int] = []
+    for node in range(2 * num_leaves - 1):
+        first, span = node, 1
+        while first < num_leaves - 1:
+            first = 2 * first + 1
+            span *= 2
+        node_mask.append(((1 << span) - 1) << (first - (num_leaves - 1)))
+        node_span.append(span)
+    leaf_submasks = [[(node_mask[a], node_span[a] >> 1)
+                      for a in row.tolist()] for row in anc]
+    return anc, node_mask, leaf_submasks
+
 
 class PrefetchTree:
     """Occupancy tree for one chunk; heap-indexed full binary tree."""
 
-    __slots__ = ("num_leaves", "_levels", "_tree")
+    __slots__ = ("num_leaves", "_levels", "_mask", "_tree", "_counts_valid",
+                 "_anc", "_node_mask", "_leaf_submasks")
+
+    #: Per-size lookup tables, shared by every tree of that size.
+    _TABLES: dict[int, tuple] = {}
 
     def __init__(self, num_leaves: int) -> None:
         if num_leaves < 1 or num_leaves & (num_leaves - 1):
             raise ValueError(f"num_leaves must be a power of two, got {num_leaves}")
         self.num_leaves = num_leaves
         self._levels = num_leaves.bit_length() - 1
+        #: Authoritative leaf residency, bit ``i`` = leaf ``i`` resident.
+        self._mask = 0
         # Heap layout: node i has children 2i+1, 2i+2; leaves occupy
         # indices [num_leaves-1, 2*num_leaves-1).
         self._tree = np.zeros(2 * num_leaves - 1, dtype=np.int32)
+        self._counts_valid = True
+        tables = PrefetchTree._TABLES.get(num_leaves)
+        if tables is None:
+            tables = PrefetchTree._TABLES[num_leaves] = _build_tables(
+                num_leaves, self._levels)
+        self._anc, self._node_mask, self._leaf_submasks = tables
 
     # -- bookkeeping -----------------------------------------------------
 
     @property
     def occupancy(self) -> int:
         """Number of resident leaves in the chunk."""
-        return int(self._tree[0])
+        return self._mask.bit_count()
 
     def is_resident(self, leaf: int) -> bool:
         """Whether leaf ``leaf`` (0-based within the chunk) is resident."""
         self._check_leaf(leaf)
-        return bool(self._tree[self.num_leaves - 1 + leaf])
+        return bool((self._mask >> leaf) & 1)
 
     def resident_leaves(self) -> np.ndarray:
         """Indices of resident leaves."""
-        leaves = self._tree[self.num_leaves - 1:]
-        return np.flatnonzero(leaves)
+        return np.array(_bits_ascending(self._mask), dtype=np.int64)
 
     def clear(self) -> None:
         """Reset the tree after the chunk is evicted."""
+        self._mask = 0
         self._tree[:] = 0
+        self._counts_valid = True
 
     def remove(self, leaf: int) -> None:
         """Evict a single leaf (64KB-granular eviction support).
@@ -62,13 +130,15 @@ class PrefetchTree:
         heuristic sees the reduced residency on later faults.
         """
         self._check_leaf(leaf)
-        idx = self.num_leaves - 1 + leaf
-        if not self._tree[idx]:
+        bit = 1 << leaf
+        if not self._mask & bit:
             raise RuntimeError(f"leaf {leaf} is not resident")
-        self._tree[idx] = 0
-        while idx:
-            idx = (idx - 1) >> 1
-            self._tree[idx] -= 1
+        self._mask ^= bit
+        if self._counts_valid:
+            self._tree[self.num_leaves - 1 + leaf] = 0
+            # A single leaf's ancestors are distinct, so one
+            # fancy-indexed subtract propagates the whole path.
+            self._tree[self._anc[leaf]] -= 1
 
     def _check_leaf(self, leaf: int) -> None:
         if not 0 <= leaf < self.num_leaves:
@@ -76,25 +146,70 @@ class PrefetchTree:
 
     def _set_leaf(self, leaf: int) -> None:
         """Mark one leaf resident and propagate occupancy to the root."""
-        idx = self.num_leaves - 1 + leaf
-        if self._tree[idx]:
+        bit = 1 << leaf
+        if self._mask & bit:
             raise RuntimeError(f"leaf {leaf} already resident")
-        self._tree[idx] = 1
-        while idx:
-            idx = (idx - 1) >> 1
-            self._tree[idx] += 1
+        self._mask |= bit
+        if self._counts_valid:
+            self._tree[self.num_leaves - 1 + leaf] = 1
+            self._tree[self._anc[leaf]] += 1
 
-    def _subtree_absent_leaves(self, node: int) -> np.ndarray:
-        """Absent leaf indices under heap node ``node``."""
-        # Find the leaf range covered by the node.
-        first, span = node, 1
-        while first < self.num_leaves - 1:
-            first = 2 * first + 1
-            span *= 2
-        first -= self.num_leaves - 1
-        leaves = self._tree[self.num_leaves - 1 + first:
-                            self.num_leaves - 1 + first + span]
-        return first + np.flatnonzero(leaves == 0)
+    def _counts(self) -> np.ndarray:
+        """The occupancy-count heap, rebuilt from the bitmask if stale."""
+        if not self._counts_valid:
+            self._tree[:] = 0
+            resident = _bits_ascending(self._mask)
+            if resident:
+                leaves = np.array(resident, dtype=np.int64)
+                self._tree[self.num_leaves - 1 + leaves] = 1
+                np.add.at(self._tree, self._anc[leaves].ravel(), 1)
+            self._counts_valid = True
+        return self._tree
+
+    def install_leaves(self, leaves: np.ndarray) -> None:
+        """Mark many *distinct* leaves resident in one pass.
+
+        Occupancy propagates through all ancestor levels with a single
+        ``np.add.at`` instead of one root-walk per leaf, so installing a
+        whole prefetch batch (or rebuilding a chunk's tree from the
+        residency map) costs O(levels) vectorized work rather than
+        O(leaves * levels) scalar walks.  Equivalent to calling
+        :meth:`mark_resident` on each leaf in turn; callers must not
+        pass duplicate leaves.
+        """
+        leaves = np.asarray(leaves, dtype=np.int64)
+        if leaves.size == 0:
+            return
+        if leaves.min() < 0 or leaves.max() >= self.num_leaves:
+            raise IndexError(
+                f"leaves outside chunk of {self.num_leaves} leaves")
+        bits = 0
+        for leaf in leaves.tolist():
+            bits |= 1 << leaf
+        if self._mask & bits:
+            raise RuntimeError("bulk install of an already-resident leaf")
+        self._mask |= bits
+        if self._counts_valid:
+            self._tree[self.num_leaves - 1 + leaves] = 1
+            np.add.at(self._tree, self._anc[leaves].ravel(), 1)
+
+    def remove_leaves(self, leaves: np.ndarray) -> None:
+        """Evict many *distinct* leaves in one pass (bulk :meth:`remove`)."""
+        leaves = np.asarray(leaves, dtype=np.int64)
+        if leaves.size == 0:
+            return
+        if leaves.min() < 0 or leaves.max() >= self.num_leaves:
+            raise IndexError(
+                f"leaves outside chunk of {self.num_leaves} leaves")
+        bits = 0
+        for leaf in leaves.tolist():
+            bits |= 1 << leaf
+        if (self._mask & bits) != bits:
+            raise RuntimeError("bulk removal of a non-resident leaf")
+        self._mask ^= bits
+        if self._counts_valid:
+            self._tree[self.num_leaves - 1 + leaves] = 0
+            np.add.at(self._tree, self._anc[leaves].ravel(), -1)
 
     # -- driver entry points ----------------------------------------------
 
@@ -103,6 +218,7 @@ class PrefetchTree:
 
         Used for the leaves the prefetcher itself pulls in and for tests.
         """
+        self._check_leaf(leaf)
         self._set_leaf(leaf)
 
     def on_fault(self, leaf: int) -> np.ndarray:
@@ -116,35 +232,50 @@ class PrefetchTree:
         Returns the prefetched leaf indices (possibly empty), excluding
         the faulting leaf itself.
         """
-        self._check_leaf(leaf)
-        self._set_leaf(leaf)
+        if not 0 <= leaf < self.num_leaves:
+            raise IndexError(
+                f"leaf {leaf} outside chunk of {self.num_leaves} leaves")
+        bit = 1 << leaf
+        mask = self._mask
+        if mask & bit:
+            raise RuntimeError(f"leaf {leaf} already resident")
+        mask |= bit
+        # The count heap goes stale; it is rebuilt lazily from the mask.
+        self._counts_valid = False
         if self.num_leaves == 1:
-            return np.empty(0, dtype=np.int64)
+            self._mask = mask
+            return _NO_PREFETCH
 
-        prefetched: list[np.ndarray] = []
-        node = self.num_leaves - 1 + leaf
-        span = 1
-        while node:
-            node = (node - 1) >> 1
-            span *= 2
-            if 2 * int(self._tree[node]) > span:
-                absent = self._subtree_absent_leaves(node)
-                for lf in absent:
-                    self._set_leaf(int(lf))
-                if absent.size:
-                    prefetched.append(absent)
+        prefetched: list[int] = []
+        for submask, half in self._leaf_submasks[leaf]:
+            # Subtree occupancy is one popcount of the masked leaf range.
+            if (mask & submask).bit_count() > half:
+                absent = submask & ~mask
+                if absent:
+                    mask |= absent
+                    while absent:
+                        low = absent & -absent
+                        prefetched.append(low.bit_length() - 1)
+                        absent ^= low
+        self._mask = mask
         if not prefetched:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(prefetched).astype(np.int64)
+            return _NO_PREFETCH
+        return np.array(prefetched, dtype=np.int64)
 
     # -- invariants (used by property tests) -------------------------------
 
     def check_invariants(self) -> None:
         """Verify internal-node counts equal the sum of their children."""
+        tree = self._counts()
         for node in range(self.num_leaves - 1):
             left, right = 2 * node + 1, 2 * node + 2
-            if self._tree[node] != self._tree[left] + self._tree[right]:
+            if tree[node] != tree[left] + tree[right]:
                 raise AssertionError(f"occupancy mismatch at node {node}")
-        if not np.all((self._tree[self.num_leaves - 1:] == 0)
-                      | (self._tree[self.num_leaves - 1:] == 1)):
+        leaf_bits = tree[self.num_leaves - 1:]
+        if not np.all((leaf_bits == 0) | (leaf_bits == 1)):
             raise AssertionError("leaf occupancy must be 0 or 1")
+        mask = 0
+        for leaf in np.flatnonzero(leaf_bits).tolist():
+            mask |= 1 << leaf
+        if mask != self._mask:
+            raise AssertionError("count heap disagrees with residency mask")

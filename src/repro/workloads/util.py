@@ -38,12 +38,34 @@ def ragged_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
 
 
 def dedupe_with_counts(pages: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Collapse duplicate page entries into ``(unique_pages, counts)``."""
+    """Collapse duplicate page entries into ``(unique_pages, counts)``.
+
+    Sort-and-run-compress: identical output to ``np.unique`` with
+    ``return_counts`` but without its hashing/indexing overhead, and the
+    sort is skipped entirely for the already-sorted streams most
+    generators produce.
+    """
     pages = np.asarray(pages, dtype=np.int64)
     if pages.size == 0:
         return pages, np.empty(0, dtype=np.int64)
-    uniq, counts = np.unique(pages, return_counts=True)
-    return uniq, counts.astype(np.int64)
+    data = pages if _is_sorted(pages) else np.sort(pages)
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], data[1:] != data[:-1])))
+    counts = np.diff(np.concatenate((boundaries, [data.size])))
+    return data[boundaries], counts
+
+
+def _is_sorted(values: np.ndarray) -> bool:
+    return bool(np.all(values[1:] >= values[:-1])) if values.size > 1 else True
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values (``np.unique`` minus the extras)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return values
+    data = values if _is_sorted(values) else np.sort(values)
+    return data[np.concatenate(([True], data[1:] != data[:-1]))]
 
 
 SECTOR_SHIFT: int = 7  # 128-byte coalescing sectors
@@ -63,7 +85,7 @@ def coalesced_pages(alloc, byte_offsets: np.ndarray,
     offs = np.asarray(byte_offsets, dtype=np.int64)
     if offs.size == 0:
         return offs, offs
-    sectors = np.unique(offs >> SECTOR_SHIFT)
+    sectors = sorted_unique(offs >> SECTOR_SHIFT)
     pages = alloc.pages_of(sectors << SECTOR_SHIFT)
     upages, ucounts = dedupe_with_counts(pages)
     return upages, ucounts * accesses_per_sector
