@@ -25,6 +25,7 @@ Quickstart::
 
 from .config import (
     EvictionGranularity,
+    FaultConfig,
     GpuConfig,
     InterconnectConfig,
     MemoryConfig,
@@ -44,6 +45,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Advice",
     "EvictionGranularity",
+    "FaultConfig",
     "GpuConfig",
     "InterconnectConfig",
     "MemoryConfig",

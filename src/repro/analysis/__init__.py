@@ -17,14 +17,35 @@ from .experiments import (
     run_single,
     table1,
 )
-from .parallel import GridCell, default_jobs, run_grid
-from .sweeps import DEFAULT_LEVELS, SweepResult, oversubscription_sweep
+from .checkpoint import CheckpointJournal, cell_key
+from .parallel import (
+    GridCell,
+    GridExecutionError,
+    GridOptions,
+    default_jobs,
+    run_grid,
+)
+from .sweeps import (
+    DEFAULT_FAULT_RATES,
+    DEFAULT_LEVELS,
+    FaultSweepResult,
+    SweepResult,
+    fault_rate_sweep,
+    oversubscription_sweep,
+)
 from .tables import ascii_bar_chart, comparison_table, format_table
 
 __all__ = [
+    "CheckpointJournal",
+    "DEFAULT_FAULT_RATES",
     "DEFAULT_LEVELS",
+    "FaultSweepResult",
     "GridCell",
+    "GridExecutionError",
+    "GridOptions",
+    "cell_key",
     "default_jobs",
+    "fault_rate_sweep",
     "run_grid",
     "NO_OVERSUB",
     "OVERSUB_125",

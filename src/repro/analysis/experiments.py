@@ -22,7 +22,7 @@ from ..sim.results import RunResult
 from ..sim.simulator import Simulator
 from ..workloads import make_workload
 from . import paper_data
-from .parallel import GridCell, run_grid
+from .parallel import GridCell, GridOptions, run_grid
 from .tables import comparison_table, format_table
 
 #: Capacity factor used for "no oversubscription" runs (20% headroom).
@@ -101,12 +101,19 @@ def run_single(workload: str, policy: MigrationPolicy,
                oversubscription: float, scale: str = "small",
                ts: int = 8, p: int = 8, seed: int = 0,
                collect_histogram: bool = False,
-               collect_trace: bool = False) -> RunResult:
+               collect_trace: bool = False,
+               transfer_fault_rate: float = 0.0,
+               migration_fault_rate: float = 0.0,
+               fault_retries: int = 3) -> RunResult:
     """Run one (workload, policy, oversubscription) cell."""
     cfg = SimulationConfig(seed=seed,
                            collect_page_histogram=collect_histogram,
                            collect_access_trace=collect_trace)
     cfg = cfg.with_policy(policy, static_threshold=ts, migration_penalty=p)
+    if transfer_fault_rate or migration_fault_rate:
+        cfg = cfg.with_faults(transfer_fault_rate=transfer_fault_rate,
+                              migration_fault_rate=migration_fault_rate,
+                              max_retries=fault_retries)
     return Simulator(cfg).run(make_workload(workload, scale),
                               oversubscription=oversubscription)
 
@@ -115,14 +122,19 @@ def _workloads(subset=None) -> tuple[str, ...]:
     return tuple(subset) if subset else paper_data.WORKLOAD_ORDER
 
 
-def _run_labelled(specs, jobs: int) -> dict[tuple[str, str], RunResult]:
+def _run_labelled(specs, jobs: int,
+                  grid: GridOptions | None = None
+                  ) -> dict[tuple[str, str], RunResult]:
     """Run ``[(label, workload, cell), ...]`` and key results by label.
 
     The figure runners below all share this shape: build the full cell
     list up front, fan it out (``jobs`` worker processes; 1 = serial,
     0 = all cores), then look results up by (series label, workload).
+    ``grid`` configures retry/checkpoint resilience (see
+    :class:`~repro.analysis.parallel.GridOptions`).
     """
-    results = run_grid([cell for _, _, cell in specs], max_workers=jobs)
+    results = run_grid([cell for _, _, cell in specs], max_workers=jobs,
+                       options=grid)
     return {(label, w): r for (label, w, _), r in zip(specs, results)}
 
 
@@ -169,7 +181,7 @@ def table1() -> str:
 # ---------------------------------------------------------------------------
 
 def figure1(scale: str = "small", subset=None, seed: int = 0,
-            jobs: int = 1) -> SeriesResult:
+            jobs: int = 1, grid: GridOptions | None = None) -> SeriesResult:
     """Runtime at none/125%/150% oversubscription, Baseline policy."""
     workloads = _workloads(subset)
     specs = [(label, w,
@@ -178,7 +190,7 @@ def figure1(scale: str = "small", subset=None, seed: int = 0,
              for label, ov in (("no oversub", NO_OVERSUB),
                                ("125% oversub", 1.25),
                                ("150% oversub", 1.50))]
-    runs = _run_labelled(specs, jobs)
+    runs = _run_labelled(specs, jobs, grid)
     measured = {"125% oversub": {}, "150% oversub": {}}
     for w in workloads:
         base = runs[("no oversub", w)]
@@ -197,8 +209,8 @@ def figure1(scale: str = "small", subset=None, seed: int = 0,
 # Figure 2 -- per-page access distribution (fdtd, sssp)
 # ---------------------------------------------------------------------------
 
-def figure2(scale: str = "small", seed: int = 0,
-            jobs: int = 1) -> dict[str, list[dict]]:
+def figure2(scale: str = "small", seed: int = 0, jobs: int = 1,
+            grid: GridOptions | None = None) -> dict[str, list[dict]]:
     """Per-allocation access histograms for fdtd and sssp.
 
     Returns, per workload, the allocation summary rows (name, pages,
@@ -209,7 +221,7 @@ def figure2(scale: str = "small", seed: int = 0,
     results = run_grid(
         [GridCell(w, MigrationPolicy.DISABLED, NO_OVERSUB, scale,
                   seed=seed, collect_histogram=True) for w in workloads],
-        max_workers=jobs)
+        max_workers=jobs, options=grid)
     return {w: r.stats.allocation_summary()
             for w, r in zip(workloads, results)}
 
@@ -231,8 +243,8 @@ def render_figure2(data: dict[str, list[dict]]) -> str:
 # Figure 3 -- access pattern over time (fdtd iters 2/4, sssp iters 3/5)
 # ---------------------------------------------------------------------------
 
-def figure3(scale: str = "small", seed: int = 0,
-            jobs: int = 1) -> dict[str, list]:
+def figure3(scale: str = "small", seed: int = 0, jobs: int = 1,
+            grid: GridOptions | None = None) -> dict[str, list]:
     """Sampled (cycle, page) traces for selected iterations.
 
     Returns trace records for fdtd iterations 2 and 4 and sssp rounds
@@ -242,7 +254,7 @@ def figure3(scale: str = "small", seed: int = 0,
     results = run_grid(
         [GridCell(w, MigrationPolicy.DISABLED, NO_OVERSUB, scale,
                   seed=seed, collect_trace=True) for w in wanted],
-        max_workers=jobs)
+        max_workers=jobs, options=grid)
     return {w: [rec for rec in r.stats.trace if rec.iteration in iters]
             for (w, iters), r in zip(wanted.items(), results)}
 
@@ -270,14 +282,14 @@ def render_figure3(data: dict[str, list]) -> str:
 # ---------------------------------------------------------------------------
 
 def figure4(scale: str = "small", subset=None, seed: int = 0,
-            jobs: int = 1) -> SeriesResult:
+            jobs: int = 1, grid: GridOptions | None = None) -> SeriesResult:
     """Always scheme at 125% oversubscription, ts in {8, 16, 32}."""
     workloads = _workloads(subset)
     specs = [(f"ts={ts}", w,
               GridCell(w, MigrationPolicy.ALWAYS, OVERSUB_125, scale,
                        ts=ts, seed=seed))
              for w in workloads for ts in (8, 16, 32)]
-    runs = _run_labelled(specs, jobs)
+    runs = _run_labelled(specs, jobs, grid)
     measured = {"ts=16": {}, "ts=32": {}}
     for w in workloads:
         base = runs[("ts=8", w)]
@@ -298,7 +310,7 @@ def figure4(scale: str = "small", subset=None, seed: int = 0,
 # ---------------------------------------------------------------------------
 
 def figure5(scale: str = "small", subset=None, seed: int = 0,
-            jobs: int = 1) -> SeriesResult:
+            jobs: int = 1, grid: GridOptions | None = None) -> SeriesResult:
     """Baseline vs Always vs Adaptive with working sets that fit."""
     workloads = _workloads(subset)
     specs = [(label, w, GridCell(w, pol, NO_OVERSUB, scale, seed=seed))
@@ -306,7 +318,7 @@ def figure5(scale: str = "small", subset=None, seed: int = 0,
              for pol, label in ((MigrationPolicy.DISABLED, "baseline"),
                                 (MigrationPolicy.ALWAYS, "always"),
                                 (MigrationPolicy.ADAPTIVE, "adaptive"))]
-    runs = _run_labelled(specs, jobs)
+    runs = _run_labelled(specs, jobs, grid)
     measured = {"always": {}, "adaptive": {}}
     for w in workloads:
         base = runs[("baseline", w)]
@@ -324,7 +336,8 @@ def figure5(scale: str = "small", subset=None, seed: int = 0,
 # ---------------------------------------------------------------------------
 
 def figure6_7(scale: str = "small", subset=None, seed: int = 0,
-              jobs: int = 1) -> tuple[SeriesResult, SeriesResult]:
+              jobs: int = 1, grid: GridOptions | None = None
+              ) -> tuple[SeriesResult, SeriesResult]:
     """All four schemes at 125% oversubscription (ts=8, p=8).
 
     Returns (Figure 6: normalized runtime, Figure 7: normalized thrash);
@@ -337,7 +350,7 @@ def figure6_7(scale: str = "small", subset=None, seed: int = 0,
                                 (MigrationPolicy.ALWAYS, "always"),
                                 (MigrationPolicy.OVERSUB, "oversub"),
                                 (MigrationPolicy.ADAPTIVE, "adaptive"))]
-    runs = _run_labelled(specs, jobs)
+    runs = _run_labelled(specs, jobs, grid)
     runtime = {"always": {}, "oversub": {}, "adaptive": {}}
     thrash = {"always": {}, "oversub": {}, "adaptive": {}}
     for w in workloads:
@@ -363,7 +376,8 @@ def figure6_7(scale: str = "small", subset=None, seed: int = 0,
 # ---------------------------------------------------------------------------
 
 def figure8(scale: str = "small", subset=None, seed: int = 0,
-            penalties=(2, 4, 8, 1 << 20), jobs: int = 1) -> SeriesResult:
+            penalties=(2, 4, 8, 1 << 20), jobs: int = 1,
+            grid: GridOptions | None = None) -> SeriesResult:
     """Adaptive scheme at 125% oversubscription, varying p."""
     workloads = _workloads(subset)
     specs = [("baseline", w,
@@ -374,7 +388,7 @@ def figure8(scale: str = "small", subset=None, seed: int = 0,
                GridCell(w, MigrationPolicy.ADAPTIVE, OVERSUB_125, scale,
                         p=p, seed=seed))
               for w in workloads for p in penalties]
-    runs = _run_labelled(specs, jobs)
+    runs = _run_labelled(specs, jobs, grid)
     measured = {f"p={p}": {} for p in penalties}
     for w in workloads:
         base = runs[("baseline", w)]

@@ -1,10 +1,26 @@
-"""Parallel experiment grid runner.
+"""Fault-tolerant parallel experiment grid runner.
 
 Every figure and sweep replays a (workload x policy x oversubscription)
 grid whose cells are completely independent simulations: each one
 constructs its own :class:`~repro.config.SimulationConfig`, its own
 workload generator, and its own driver state.  This module fans those
-cells out across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+cells out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+and keeps the sweep alive through the failures a long grid actually
+meets in practice:
+
+* a **crashed worker** (OOM-kill, segfaulting interpreter) breaks the
+  whole pool in ``concurrent.futures``; the runner rebuilds the pool
+  and re-submits only the cells whose results were lost;
+* a **flaky cell** (transient resource exhaustion) is retried with
+  exponential backoff up to :attr:`GridOptions.retries` times before
+  the sweep gives up with :class:`GridExecutionError`;
+* a **hung pool** (no cell completing for
+  :attr:`GridOptions.cell_timeout` seconds) is terminated and rebuilt;
+* an environment with **no working process pools at all** (restricted
+  sandboxes, missing semaphores) degrades to the serial path;
+* a **killed sweep** resumes from its JSONL checkpoint journal
+  (:mod:`repro.analysis.checkpoint`): completed cells are replayed
+  bit-identical instead of re-simulated.
 
 Determinism is preserved by construction:
 
@@ -13,23 +29,30 @@ Determinism is preserved by construction:
   so a cell's :class:`~repro.sim.results.RunResult` is a pure function
   of the cell spec;
 * :func:`run_grid` returns results in cell order regardless of which
-  worker finished first.
+  worker finished first, how often the pool was rebuilt, or how many
+  cells came from a checkpoint.
 
 Consequently ``run_grid(cells, max_workers=N)`` is bit-identical to the
-serial ``[run_cell(c) for c in cells]`` for any ``N``.  When worker
-processes cannot be spawned at all (restricted sandboxes, missing
-semaphores, interpreters without ``fork``/``spawn``), the runner
-degrades to the serial path instead of failing.
+serial ``[run_cell(c) for c in cells]`` for any ``N``, with or without
+interruptions.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from ..config import MigrationPolicy
 from ..sim.results import RunResult
+
+#: Broken-pool incarnations tolerated before degrading to serial.
+_MAX_POOL_REBUILDS = 2
+
+#: Upper bound on any single backoff sleep, seconds.
+_MAX_BACKOFF_S = 10.0
 
 
 @dataclass(frozen=True)
@@ -45,6 +68,49 @@ class GridCell:
     seed: int = 0
     collect_histogram: bool = False
     collect_trace: bool = False
+    #: Injected transient-fault rates (see :mod:`repro.uvm.faults`).
+    transfer_fault_rate: float = 0.0
+    migration_fault_rate: float = 0.0
+    fault_retries: int = 3
+
+
+@dataclass(frozen=True)
+class GridOptions:
+    """Resilience knobs for :func:`run_grid`."""
+
+    #: Extra attempts per cell after its first failure.
+    retries: int = 2
+    #: Backoff before the first re-attempt, seconds (doubles per retry).
+    retry_backoff_s: float = 0.25
+    #: Declare the pool hung when no cell completes for this many
+    #: seconds; its workers are terminated and the pool rebuilt.
+    cell_timeout: float | None = None
+    #: JSONL journal path; completed cells are appended as they finish.
+    checkpoint: str | None = None
+    #: Serve previously journaled cells from the checkpoint instead of
+    #: re-simulating them.
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (or None)")
+        if self.resume and not self.checkpoint:
+            raise ValueError("resume requires a checkpoint path")
+
+
+class GridExecutionError(RuntimeError):
+    """A grid cell kept failing after exhausting its retry budget."""
+
+    def __init__(self, cell: GridCell, attempts: int) -> None:
+        super().__init__(
+            f"grid cell failed {attempts} time(s), retry budget exhausted: "
+            f"{cell}")
+        self.cell = cell
+        self.attempts = attempts
 
 
 def run_cell(cell: GridCell) -> RunResult:
@@ -55,32 +121,211 @@ def run_cell(cell: GridCell) -> RunResult:
     return run_single(cell.workload, cell.policy, cell.oversubscription,
                       cell.scale, ts=cell.ts, p=cell.p, seed=cell.seed,
                       collect_histogram=cell.collect_histogram,
-                      collect_trace=cell.collect_trace)
+                      collect_trace=cell.collect_trace,
+                      transfer_fault_rate=cell.transfer_fault_rate,
+                      migration_fault_rate=cell.migration_fault_rate,
+                      fault_retries=cell.fault_retries)
 
 
 def default_jobs() -> int:
-    """Worker count when the caller asks for ``--jobs 0`` (= all cores)."""
-    return os.cpu_count() or 1
+    """Worker count when the caller asks for ``--jobs 0`` (= all cores).
+
+    Respects CPU affinity where the platform exposes it: container and
+    CI runners frequently pin a process to fewer cores than
+    ``os.cpu_count()`` reports, and oversubscribing the pinned set just
+    adds context-switch thrash.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = 0
+    return affinity or os.cpu_count() or 1
 
 
-def run_grid(cells, max_workers: int | None = None) -> list[RunResult]:
+def run_grid(cells, max_workers: int | None = None,
+             options: GridOptions | None = None) -> list[RunResult]:
     """Run every cell, in parallel when workers are available.
 
     ``max_workers`` of ``None`` or ``1`` runs serially in-process (no
     executor, no pickling); ``0`` means one worker per CPU.  Results
-    come back in the order of ``cells``.
+    come back in the order of ``cells``.  ``options`` configures
+    retries, hang detection, and checkpoint/resume; the defaults retry
+    transient failures but neither journal nor resume.
     """
     cells = list(cells)
+    opts = options or GridOptions()
+    if max_workers is not None and max_workers < 0:
+        raise ValueError(
+            f"max_workers must be >= 0 (0 = one per CPU), got {max_workers}")
     if max_workers == 0:
         max_workers = default_jobs()
-    if max_workers is None or max_workers <= 1 or len(cells) <= 1:
-        return [run_cell(c) for c in cells]
+
+    results: list[RunResult | None] = [None] * len(cells)
+    pending = list(range(len(cells)))
+    journal = None
+    if opts.checkpoint:
+        from .checkpoint import CheckpointJournal, cell_key
+        journal = CheckpointJournal(opts.checkpoint)
+        if opts.resume:
+            cached = journal.load()
+            fresh = []
+            for i in pending:
+                cell = cells[i]
+                hit = cached.get(cell_key(cell))
+                # Cells carrying heavy collectors are never served from
+                # the journal (stats are not serialized).
+                if hit is not None and not (cell.collect_histogram
+                                            or cell.collect_trace):
+                    results[i] = hit
+                else:
+                    fresh.append(i)
+            pending = fresh
     try:
-        with ProcessPoolExecutor(
-                max_workers=min(max_workers, len(cells))) as pool:
-            return list(pool.map(run_cell, cells))
-    except (OSError, PermissionError, NotImplementedError):
-        # Process pools need working fork/spawn plus POSIX semaphores;
-        # restricted environments (CI sandboxes, seccomp jails) may
-        # offer neither.  The grid is still correct serially.
-        return [run_cell(c) for c in cells]
+        if max_workers is None or max_workers <= 1 or len(pending) <= 1:
+            _run_serial(cells, pending, results, opts, journal)
+        else:
+            _run_parallel(cells, pending, results, opts, journal,
+                          max_workers)
+    finally:
+        if journal is not None:
+            journal.close()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# execution strategies
+# ---------------------------------------------------------------------------
+
+def _store(results, journal, cell, index: int, result: RunResult) -> None:
+    """Commit one finished cell: result slot first, then the journal."""
+    results[index] = result
+    if journal is not None and not (cell.collect_histogram
+                                    or cell.collect_trace):
+        journal.append(cell, result)
+
+
+def _backoff(opts: GridOptions, attempt: int) -> None:
+    """Sleep before re-attempting a failed cell (bounded exponential)."""
+    if opts.retry_backoff_s <= 0 or attempt <= 0:
+        return
+    time.sleep(min(opts.retry_backoff_s * 2 ** (attempt - 1),
+                   _MAX_BACKOFF_S))
+
+
+def _run_serial(cells, pending, results, opts, journal) -> None:
+    """In-process execution with per-cell retry and journaling."""
+    for i in pending:
+        attempts = 0
+        while True:
+            try:
+                result = run_cell(cells[i])
+                break
+            except Exception as exc:
+                attempts += 1
+                if attempts > opts.retries:
+                    raise GridExecutionError(cells[i], attempts) from exc
+                _backoff(opts, attempts)
+        _store(results, journal, cells[i], i, result)
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Best-effort kill of a pool whose workers stopped responding."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _run_parallel(cells, pending, results, opts, journal,
+                  max_workers: int) -> None:
+    """Pool execution with lost-cell re-submission and hang detection.
+
+    Each ``while`` iteration is one pool incarnation: submit everything
+    still pending, harvest until the pool breaks, hangs, or drains,
+    then charge failures and go again with only the unfinished cells.
+    A worker crash breaks the whole pool in ``concurrent.futures``, so
+    broken-pool failures are charged to a small pool-rebuild budget
+    rather than to individual cells; cell-level exceptions and hangs
+    consume that cell's own retry budget.
+    """
+    attempts = dict.fromkeys(pending, 0)
+    pool_rebuilds = 0
+    remaining = list(pending)
+    while remaining:
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(max_workers, len(remaining)))
+        except (OSError, PermissionError, NotImplementedError):
+            # Process pools need working fork/spawn plus POSIX
+            # semaphores; restricted environments (CI sandboxes, seccomp
+            # jails) may offer neither.  The grid is still correct
+            # serially.
+            return _run_serial(cells, remaining, results, opts, journal)
+
+        completed_here = 0
+        pool_broke = False
+        stalled: list[int] = []
+        failed: list[tuple[int, BaseException]] = []
+        future_of: dict = {}
+        try:
+            for i in remaining:
+                future_of[pool.submit(run_cell, cells[i])] = i
+        except BrokenProcessPool:
+            pool_broke = True
+        outstanding = set(future_of)
+        while outstanding:
+            done, _ = wait(outstanding, timeout=opts.cell_timeout,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                # Nothing finished within the budget: declare the pool
+                # hung, kill its workers, and retry the stragglers.
+                stalled = [future_of[f] for f in outstanding]
+                _terminate_workers(pool)
+                break
+            for future in done:
+                outstanding.discard(future)
+                i = future_of[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    pool_broke = True
+                    failed.append((i, exc))
+                except Exception as exc:
+                    failed.append((i, exc))
+                else:
+                    _store(results, journal, cells[i], i, result)
+                    completed_here += 1
+        pool.shutdown(wait=not stalled, cancel_futures=True)
+
+        # -- charge the round's failures -------------------------------
+        for i, exc in failed:
+            if isinstance(exc, BrokenProcessPool):
+                continue  # pool-level, charged to the rebuild budget
+            attempts[i] += 1
+            if attempts[i] > opts.retries:
+                raise GridExecutionError(cells[i], attempts[i]) from exc
+        worst = 0
+        for i in stalled:
+            attempts[i] += 1
+            worst = max(worst, attempts[i])
+            if attempts[i] > opts.retries:
+                raise GridExecutionError(cells[i], attempts[i]) from (
+                    TimeoutError(
+                        f"no grid cell completed within "
+                        f"{opts.cell_timeout}s"))
+        if pool_broke:
+            pool_rebuilds += 1
+            if completed_here == 0 and pool_rebuilds >= _MAX_POOL_REBUILDS:
+                # The pool breaks without making progress: stop burning
+                # incarnations and finish the grid in-process.
+                remaining = [i for i in remaining if results[i] is None]
+                return _run_serial(cells, remaining, results, opts, journal)
+            worst = max(worst, pool_rebuilds)
+        for i, exc in failed:
+            if not isinstance(exc, BrokenProcessPool):
+                worst = max(worst, attempts[i])
+        remaining = [i for i in remaining if results[i] is None]
+        if remaining and worst:
+            _backoff(opts, worst)

@@ -13,11 +13,14 @@ from dataclasses import dataclass
 
 from ..config import MigrationPolicy
 from ..sim.results import RunResult
-from .parallel import GridCell, run_grid
+from .parallel import GridCell, GridOptions, run_grid
 from .tables import format_table
 
 #: Default oversubscription grid: fits-with-headroom up to 150%.
 DEFAULT_LEVELS: tuple[float, ...] = (0.8, 1.0, 1.1, 1.25, 1.4, 1.5)
+
+#: Default transient-fault-rate grid for the degradation sweep.
+DEFAULT_FAULT_RATES: tuple[float, ...] = (0.0, 0.01, 0.05, 0.1, 0.2)
 
 
 @dataclass
@@ -89,20 +92,78 @@ def oversubscription_sweep(workload: str,
                                      MigrationPolicy.ADAPTIVE),
                            levels: tuple[float, ...] = DEFAULT_LEVELS,
                            scale: str = "small", ts: int = 8, p: int = 8,
-                           seed: int = 0, jobs: int = 1) -> SweepResult:
+                           seed: int = 0, jobs: int = 1,
+                           grid: GridOptions | None = None) -> SweepResult:
     """Run ``workload`` under each policy at each oversubscription level.
 
     ``jobs`` > 1 fans the (policy x level) grid out across worker
     processes (0 = one per CPU); cells are independent and individually
-    seeded, so the results are identical to a serial run.
+    seeded, so the results are identical to a serial run.  ``grid``
+    configures retry/checkpoint resilience for long sweeps.
     """
     if not levels:
         raise ValueError("need at least one oversubscription level")
     policies = tuple(policies)
     cells = [GridCell(workload, pol, level, scale, ts=ts, p=p, seed=seed)
              for pol in policies for level in levels]
-    results = run_grid(cells, max_workers=jobs)
+    results = run_grid(cells, max_workers=jobs, options=grid)
     runs: dict[str, list[RunResult]] = {}
     for i, pol in enumerate(policies):
         runs[pol.value] = results[i * len(levels):(i + 1) * len(levels)]
     return SweepResult(workload=workload, levels=tuple(levels), runs=runs)
+
+
+@dataclass
+class FaultSweepResult:
+    """Graceful degradation of one workload across transient-fault rates."""
+
+    workload: str
+    policy: str
+    oversubscription: float
+    rates: tuple[float, ...]
+    runs: list[RunResult]
+
+    def slowdown(self) -> list[float]:
+        """Runtime at each fault rate relative to the fault-free run."""
+        base = self.runs[0].total_cycles
+        return [r.total_cycles / base for r in self.runs]
+
+    def render(self) -> str:
+        """Table of runtime and fault-handling counters per rate."""
+        rows = []
+        for rate, run, slow in zip(self.rates, self.runs, self.slowdown()):
+            ev = run.events
+            rows.append([f"{rate:.3f}", f"{slow:.3f}",
+                         ev.retried_transfers, ev.degraded_accesses,
+                         f"{run.hit_ratio:.3f}"])
+        title = (f"== {self.workload} ({self.policy}, "
+                 f"{self.oversubscription:.0%} oversubscription): "
+                 "degradation vs transient fault rate ==")
+        return format_table(
+            ["fault rate", "slowdown", "retried", "degraded", "hit ratio"],
+            rows, title=title)
+
+
+def fault_rate_sweep(workload: str,
+                     policy: MigrationPolicy = MigrationPolicy.ADAPTIVE,
+                     rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
+                     oversubscription: float = 1.25, scale: str = "small",
+                     ts: int = 8, p: int = 8, seed: int = 0,
+                     fault_retries: int = 3, jobs: int = 1,
+                     grid: GridOptions | None = None) -> FaultSweepResult:
+    """Map graceful degradation across injected transient-fault rates.
+
+    The first rate (conventionally 0.0) anchors the slowdown curve; the
+    fault model is documented in :mod:`repro.uvm.faults`.
+    """
+    if not rates:
+        raise ValueError("need at least one fault rate")
+    rates = tuple(rates)
+    cells = [GridCell(workload, policy, oversubscription, scale, ts=ts,
+                      p=p, seed=seed, transfer_fault_rate=rate,
+                      fault_retries=fault_retries)
+             for rate in rates]
+    results = run_grid(cells, max_workers=jobs, options=grid)
+    return FaultSweepResult(workload=workload, policy=policy.value,
+                            oversubscription=oversubscription,
+                            rates=rates, runs=results)

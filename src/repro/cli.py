@@ -44,6 +44,7 @@ def _build_config(args) -> SimulationConfig:
     cfg = SimulationConfig(
         seed=args.seed,
         collect_page_histogram=getattr(args, "histogram", False),
+        debug_invariants=getattr(args, "debug_invariants", False),
     )
     cfg = cfg.with_policy(MigrationPolicy(args.policy),
                           static_threshold=args.ts,
@@ -53,7 +54,37 @@ def _build_config(args) -> SimulationConfig:
     if getattr(args, "prefetcher", "tree") != "tree":
         cfg = cfg.with_prefetcher(PrefetcherKind(args.prefetcher),
                                   degree=args.prefetch_degree)
+    if getattr(args, "fault_rate", 0.0) or getattr(args,
+                                                   "migration_fault_rate",
+                                                   0.0):
+        try:
+            cfg = cfg.with_faults(
+                transfer_fault_rate=args.fault_rate,
+                migration_fault_rate=args.migration_fault_rate,
+                max_retries=args.fault_retries)
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}") from None
     return cfg
+
+
+def _make_workload(name: str, scale: str):
+    """Instantiate a workload, turning registry KeyErrors into CLI errors."""
+    try:
+        return make_workload(name, scale)
+    except KeyError as exc:
+        raise SystemExit(f"repro: {exc.args[0]}") from None
+
+
+def _grid_options(args):
+    """Build GridOptions from the resilience flags (figure/sweep)."""
+    from .analysis import GridOptions
+    try:
+        return GridOptions(retries=args.retries,
+                           cell_timeout=args.cell_timeout,
+                           checkpoint=args.checkpoint,
+                           resume=args.resume)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}") from None
 
 
 def _print_summary(result) -> None:
@@ -74,7 +105,7 @@ def _print_summary(result) -> None:
 
 def cmd_run(args) -> int:
     cfg = _build_config(args)
-    wl = make_workload(args.workload, args.scale)
+    wl = _make_workload(args.workload, args.scale)
     result = Simulator(cfg).run(wl, oversubscription=args.oversub)
     _print_summary(result)
     if args.histogram:
@@ -94,7 +125,7 @@ def cmd_compare(args) -> int:
     for pol in MigrationPolicy:
         cfg = SimulationConfig(seed=args.seed).with_policy(
             pol, static_threshold=args.ts, migration_penalty=args.penalty)
-        wl = make_workload(args.workload, args.scale)
+        wl = _make_workload(args.workload, args.scale)
         results[pol] = Simulator(cfg).run(wl, oversubscription=args.oversub)
     base = results[MigrationPolicy.DISABLED]
     rows = []
@@ -114,33 +145,36 @@ def cmd_compare(args) -> int:
 
 #: Figures whose data is a SeriesResult (CSV-exportable).
 _FIGURE_SERIES = {
-    "fig1": lambda scale, jobs: analysis.figure1(scale, jobs=jobs),
-    "fig4": lambda scale, jobs: analysis.figure4(scale, jobs=jobs),
-    "fig5": lambda scale, jobs: analysis.figure5(scale, jobs=jobs),
-    "fig6": lambda scale, jobs: analysis.figure6_7(scale, jobs=jobs)[0],
-    "fig7": lambda scale, jobs: analysis.figure6_7(scale, jobs=jobs)[1],
-    "fig8": lambda scale, jobs: analysis.figure8(scale, jobs=jobs),
+    "fig1": lambda scale, jobs, grid: analysis.figure1(scale, jobs=jobs,
+                                                       grid=grid),
+    "fig4": lambda scale, jobs, grid: analysis.figure4(scale, jobs=jobs,
+                                                       grid=grid),
+    "fig5": lambda scale, jobs, grid: analysis.figure5(scale, jobs=jobs,
+                                                       grid=grid),
+    "fig6": lambda scale, jobs, grid: analysis.figure6_7(scale, jobs=jobs,
+                                                         grid=grid)[0],
+    "fig7": lambda scale, jobs, grid: analysis.figure6_7(scale, jobs=jobs,
+                                                         grid=grid)[1],
+    "fig8": lambda scale, jobs, grid: analysis.figure8(scale, jobs=jobs,
+                                                       grid=grid),
 }
 
 _FIGURES = {
-    "table1": lambda scale, jobs: analysis.table1(),
-    "fig1": lambda scale, jobs: analysis.figure1(scale, jobs=jobs).render(),
-    "fig2": lambda scale, jobs: analysis.render_figure2(
-        analysis.figure2(scale, jobs=jobs)),
-    "fig3": lambda scale, jobs: analysis.render_figure3(
-        analysis.figure3(scale, jobs=jobs)),
-    "fig4": lambda scale, jobs: analysis.figure4(scale, jobs=jobs).render(),
-    "fig5": lambda scale, jobs: analysis.figure5(scale, jobs=jobs).render(),
-    "fig6": lambda scale, jobs: analysis.figure6_7(scale,
-                                                   jobs=jobs)[0].render(),
-    "fig7": lambda scale, jobs: analysis.figure6_7(scale,
-                                                   jobs=jobs)[1].render(),
-    "fig8": lambda scale, jobs: analysis.figure8(scale, jobs=jobs).render(),
+    "table1": lambda scale, jobs, grid: analysis.table1(),
+    "fig2": lambda scale, jobs, grid: analysis.render_figure2(
+        analysis.figure2(scale, jobs=jobs, grid=grid)),
+    "fig3": lambda scale, jobs, grid: analysis.render_figure3(
+        analysis.figure3(scale, jobs=jobs, grid=grid)),
 }
+_FIGURES.update({
+    fid: (lambda scale, jobs, grid, _s=series: _s(scale, jobs, grid).render())
+    for fid, series in _FIGURE_SERIES.items()
+})
 
 
 def cmd_figure(args) -> int:
     ids = sorted(_FIGURES) if args.id == "all" else [args.id]
+    grid = _grid_options(args)
     chunks = []
     for fid in ids:
         if args.csv:
@@ -148,9 +182,9 @@ def cmd_figure(args) -> int:
             if series is None:
                 raise SystemExit(
                     f"--csv is only available for bar figures, not {fid!r}")
-            chunks.append(series(args.scale, args.jobs).to_csv())
+            chunks.append(series(args.scale, args.jobs, grid).to_csv())
         else:
-            chunks.append(_FIGURES[fid](args.scale, args.jobs))
+            chunks.append(_FIGURES[fid](args.scale, args.jobs, grid))
     text = "\n\n".join(chunks) if not args.csv else "".join(chunks)
     print(text)
     if args.out:
@@ -161,6 +195,18 @@ def cmd_figure(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    grid = _grid_options(args)
+    if args.fault_rates:
+        try:
+            rates = tuple(float(r) for r in args.fault_rates.split(","))
+            policy = MigrationPolicy(args.policies.split(",")[0])
+        except ValueError as exc:
+            raise SystemExit(f"repro sweep: {exc}") from None
+        res = analysis.fault_rate_sweep(
+            args.workload, policy=policy, rates=rates, scale=args.scale,
+            seed=args.seed, jobs=args.jobs, grid=grid)
+        print(res.render())
+        return 0
     try:
         policies = tuple(MigrationPolicy(p)
                          for p in args.policies.split(","))
@@ -169,7 +215,7 @@ def cmd_sweep(args) -> int:
         raise SystemExit(f"repro sweep: {exc}") from None
     res = analysis.oversubscription_sweep(
         args.workload, policies=policies, levels=levels, scale=args.scale,
-        seed=args.seed, jobs=args.jobs)
+        seed=args.seed, jobs=args.jobs, grid=grid)
     print(res.render())
     return 0
 
@@ -177,7 +223,7 @@ def cmd_sweep(args) -> int:
 def cmd_trace(args) -> int:
     from .trace import TraceWorkload, record_trace, save_trace
     if args.trace_cmd == "record":
-        data = record_trace(make_workload(args.workload, args.scale),
+        data = record_trace(_make_workload(args.workload, args.scale),
                             seed=args.seed)
         path = save_trace(data, args.output)
         print(f"recorded {data.num_waves} waves / "
@@ -199,6 +245,28 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _jobs_arg(text: str) -> int:
+    """Parse ``--jobs``: non-negative int, 0 meaning one worker per CPU."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = one worker per CPU), got {value}")
+    return value
+
+
+def _workload_arg(name: str) -> str:
+    """Validate a workload name at parse time, listing the registry."""
+    known = workload_names(extended=True)
+    if name not in known:
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {name!r}; available: {', '.join(known)}")
+    return name
+
+
 def _add_sim_args(p, with_oversub=True) -> None:
     p.add_argument("--policy", default="adaptive",
                    choices=[m.value for m in MigrationPolicy])
@@ -212,10 +280,37 @@ def _add_sim_args(p, with_oversub=True) -> None:
     p.add_argument("--prefetcher", default="tree",
                    choices=[k.value for k in PrefetcherKind])
     p.add_argument("--prefetch-degree", type=int, default=4)
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="probability of an injected transient PCIe "
+                        "transfer fault per migration attempt")
+    p.add_argument("--migration-fault-rate", type=float, default=0.0,
+                   help="probability of an injected device allocation "
+                        "fault per migration attempt")
+    p.add_argument("--fault-retries", type=int, default=3,
+                   help="driver retries before degrading a faulted "
+                        "migration to remote zero-copy access")
+    p.add_argument("--debug-invariants", action="store_true",
+                   help="check residency/capacity accounting after "
+                        "every wave (slow; for debugging)")
     if with_oversub:
         p.add_argument("--oversub", type=float, default=1.25,
                        help="working set as a fraction of device memory "
                             "(1.25 = 125%% oversubscription)")
+
+
+def _add_grid_args(p) -> None:
+    """Resilience flags for the grid-running commands (figure, sweep)."""
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts per grid cell after a failure")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="declare the worker pool hung when no cell "
+                        "completes for this long, then rebuild it")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="append completed cells to this JSONL journal")
+    p.add_argument("--resume", action="store_true",
+                   help="serve cells already in the --checkpoint journal "
+                        "instead of re-simulating them")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,7 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("run", help="simulate one workload")
-    p.add_argument("workload", choices=workload_names(extended=True))
+    p.add_argument("workload", type=_workload_arg,
+                   help="workload name (see `repro list`)")
     p.add_argument("--scale", default="small", choices=SCALES)
     p.add_argument("--histogram", action="store_true",
                    help="collect per-allocation access histograms")
@@ -234,7 +330,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="all four policies on one workload")
-    p.add_argument("workload", choices=workload_names(extended=True))
+    p.add_argument("workload", type=_workload_arg,
+                   help="workload name (see `repro list`)")
     p.add_argument("--scale", default="small", choices=SCALES)
     _add_sim_args(p)
     p.set_defaults(func=cmd_compare)
@@ -242,33 +339,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("id", choices=sorted(_FIGURES) + ["all"])
     p.add_argument("--scale", default="small", choices=SCALES)
-    p.add_argument("--jobs", type=int, default=1,
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
                    help="worker processes for the experiment grid "
                         "(0 = one per CPU, 1 = serial)")
     p.add_argument("--out", default=None, help="also save to this file")
     p.add_argument("--csv", action="store_true",
                    help="emit CSV instead of the rendered table "
                         "(bar figures only)")
+    _add_grid_args(p)
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("sweep", help="oversubscription sweep on one workload")
-    p.add_argument("workload", choices=workload_names(extended=True))
+    p.add_argument("workload", type=_workload_arg,
+                   help="workload name (see `repro list`)")
     p.add_argument("--scale", default="small", choices=SCALES)
     p.add_argument("--levels",
                    default=",".join(str(l) for l in analysis.DEFAULT_LEVELS),
                    help="comma-separated oversubscription levels")
     p.add_argument("--policies", default="disabled,adaptive",
                    help="comma-separated migration policies to sweep")
+    p.add_argument("--fault-rates", default=None,
+                   help="sweep injected transient-fault rates instead of "
+                        "oversubscription levels (comma-separated; uses "
+                        "the first --policies entry)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--jobs", type=int, default=1,
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
                    help="worker processes for the sweep grid "
                         "(0 = one per CPU, 1 = serial)")
+    _add_grid_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("trace", help="record or replay access traces")
     tsub = p.add_subparsers(dest="trace_cmd", required=True)
     pr = tsub.add_parser("record")
-    pr.add_argument("workload", choices=workload_names(extended=True))
+    pr.add_argument("workload", type=_workload_arg,
+                    help="workload name (see `repro list`)")
     pr.add_argument("--scale", default="small", choices=SCALES)
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument("-o", "--output", required=True)

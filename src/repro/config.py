@@ -162,6 +162,8 @@ class MemoryConfig:
             )
         if self.page_size != PAGE_SIZE:
             raise ValueError("only 4KB pages are supported")
+        if self.prefetch_degree < 1:
+            raise ValueError("prefetch_degree must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -232,6 +234,63 @@ class TimingConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Transient-fault model of the simulated UVM transfer path.
+
+    Real UVM stacks treat transfer failure and retry as first-class
+    (GPUVM, arXiv:2411.05309): a DMA can be dropped or a device frame
+    allocation can transiently fail under pressure.  The driver retries a
+    failed migration with exponential backoff and, once the retry budget
+    is exhausted, degrades the access to the remote zero-copy path
+    instead of crashing the run.
+
+    Both rates default to 0.0, which disables injection entirely: no
+    randomness is consumed and results are bit-identical to a simulator
+    without the fault model.
+    """
+
+    #: Probability that one block migration's PCIe transfer fails.
+    transfer_fault_rate: float = 0.0
+    #: Probability that one migration's device frame allocation fails.
+    migration_fault_rate: float = 0.0
+    #: Re-attempts after a failed migration before degrading to remote.
+    max_retries: int = 3
+    #: Backoff wait before the first retry, in microseconds.
+    retry_backoff_us: float = 5.0
+    #: Growth factor of the backoff wait per successive retry.
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("transfer_fault_rate", "migration_fault_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(
+                    f"{name} must lie in [0.0, 1.0), got {rate!r} "
+                    "(1.0 would make every migration fail forever)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_us < 0.0:
+            raise ValueError("retry_backoff_us must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault class can actually fire."""
+        return (self.transfer_fault_rate > 0.0
+                or self.migration_fault_rate > 0.0)
+
+    def total_backoff_us(self, n_failures: int) -> float:
+        """Cumulative backoff wait after ``n_failures`` failed attempts."""
+        if n_failures <= 0:
+            return 0.0
+        m = self.backoff_multiplier
+        if m == 1.0:
+            return self.retry_backoff_us * n_failures
+        return self.retry_backoff_us * (m ** n_failures - 1.0) / (m - 1.0)
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Top-level configuration bundle handed to :class:`repro.sim.Simulator`."""
 
@@ -240,17 +299,55 @@ class SimulationConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     policy: PolicyConfig = field(default_factory=PolicyConfig)
     timing: TimingConfig = field(default_factory=TimingConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     #: Capture per-page access histograms (Figure 2) -- adds overhead.
     collect_page_histogram: bool = False
     #: Capture (cycle, page, is_write) access samples (Figure 3).
     collect_access_trace: bool = False
     #: Capture per-wave memory-pressure samples (occupancy timeline).
     collect_timeline: bool = False
+    #: Re-verify driver accounting invariants after every wave (slow;
+    #: catches residency/device-ledger drift at the wave that caused it).
+    debug_invariants: bool = False
     seed: int = 0
 
     def replace(self, **kwargs) -> "SimulationConfig":
         """Return a copy with top-level fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def validate(self) -> "SimulationConfig":
+        """Check every sub-config plus cross-field invariants.
+
+        Dataclass construction already rejects locally-invalid fields;
+        this re-checks them (guarding against ``object.__setattr__``
+        mutation) and adds the cross-config invariants no single
+        ``__post_init__`` can see.  All problems are reported at once in
+        a single ``ValueError`` with actionable, field-qualified
+        messages.  Returns ``self`` so calls chain.
+        """
+        errors: list[str] = []
+        for name in ("gpu", "interconnect", "memory", "policy", "timing",
+                     "faults"):
+            try:
+                getattr(self, name).__post_init__()
+            except ValueError as exc:
+                errors.append(f"{name}: {exc}")
+        if self.policy.static_threshold > self.policy.counter_max:
+            errors.append(
+                f"policy: static_threshold {self.policy.static_threshold} "
+                f"exceeds what a {self.policy.counter_bits}-bit access "
+                f"counter can count ({self.policy.counter_max}); lower the "
+                "threshold or widen counter_bits")
+        min_capacity = self.memory.eviction_granularity.value
+        if self.memory.device_capacity < min_capacity:
+            errors.append(
+                f"memory: device_capacity {self.memory.device_capacity} is "
+                f"below one eviction unit ({min_capacity}); nothing could "
+                "ever be resident")
+        if errors:
+            raise ValueError(
+                "invalid SimulationConfig:\n  - " + "\n  - ".join(errors))
+        return self
 
     def with_policy(self, policy: MigrationPolicy, **policy_kwargs) -> "SimulationConfig":
         """Return a copy running under ``policy``.
@@ -290,6 +387,11 @@ class SimulationConfig:
         mem = dataclasses.replace(self.memory, **kwargs)
         return dataclasses.replace(self, memory=mem)
 
+    def with_faults(self, **fault_kwargs) -> "SimulationConfig":
+        """Return a copy with fault-injection fields replaced."""
+        return dataclasses.replace(
+            self, faults=dataclasses.replace(self.faults, **fault_kwargs))
+
 
 def capacity_for_oversubscription(footprint_bytes: int, oversubscription: float = 1.0) -> int:
     """Device capacity that makes ``footprint_bytes`` oversubscribe it.
@@ -303,7 +405,15 @@ def capacity_for_oversubscription(footprint_bytes: int, oversubscription: float 
     spuriously evicts.
     """
     if oversubscription <= 0.0:
-        raise ValueError("oversubscription factor must be positive")
+        raise ValueError(
+            f"oversubscription factor must be positive, got "
+            f"{oversubscription!r} (1.25 means the working set is 125% of "
+            "device capacity)")
+    if oversubscription > 64.0:
+        raise ValueError(
+            f"oversubscription factor {oversubscription!r} is implausibly "
+            "high (> 64x); levels are fractions, not percentages -- pass "
+            "1.25, not 125")
     cap = int(footprint_bytes / oversubscription)
     # Round up to a whole 2MB chunk so oversubscription == 1.0 never
     # spuriously evicts (capacity must cover the full working set).

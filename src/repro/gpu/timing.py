@@ -75,6 +75,13 @@ class TimingModel:
         t.remote = self.pcie.remote_cycles(outcome.n_remote)
         t.fault_handling = self.pcie.fault_handling_cycles(outcome.fault_events)
         t.migration = self.pcie.migration_cycles(outcome.h2d_blocks)
+        # Injected transient faults: re-issued transfers occupy the link
+        # again, and the retry backoff stalls the SMs like fault handling.
+        if outcome.retried_transfers:
+            t.migration += self.pcie.retry_cycles(outcome.retried_transfers)
+        if outcome.retry_backoff_us:
+            t.migration += self.config.gpu.us_to_cycles(
+                outcome.retry_backoff_us)
         t.writeback = self.pcie.writeback_cycles(outcome.writeback_blocks)
         # Compute overlaps local+remote traffic; faults, migrations and
         # write-backs stall execution.

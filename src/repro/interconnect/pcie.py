@@ -76,3 +76,18 @@ class PcieModel:
             return 0.0
         batches = -(-fault_events // self.config.fault_batch_size)
         return batches * self.fault_batch_cycles
+
+    def retry_cycles(self, n_retries: int) -> float:
+        """Link cost of ``n_retries`` re-issued block transfers.
+
+        A failed migration attempt (injected transient fault) still
+        occupied the link for a full block stream before being dropped,
+        so each retry wastes one block-transfer time and its bytes count
+        toward h2d traffic.  The backoff *wait* between attempts is
+        charged separately by the timing model from
+        ``WaveOutcome.retry_backoff_us``.
+        """
+        if n_retries <= 0:
+            return 0.0
+        self.h2d_bytes += n_retries * BASIC_BLOCK_SIZE
+        return n_retries * self.block_transfer_cycles

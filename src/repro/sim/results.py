@@ -133,5 +133,7 @@ class RunResult:
             "evicted_blocks": ev.evicted_blocks,
             "writeback_blocks": ev.writeback_blocks,
             "thrash_migrations": ev.thrash_migrations,
+            "retried_transfers": ev.retried_transfers,
+            "degraded_accesses": ev.degraded_accesses,
             "oversubscription": self.oversubscription,
         }

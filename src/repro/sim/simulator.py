@@ -30,7 +30,7 @@ class Simulator:
     """Runs one workload under one configuration."""
 
     def __init__(self, config: SimulationConfig | None = None) -> None:
-        self.config = config or SimulationConfig()
+        self.config = (config or SimulationConfig()).validate()
 
     def run(self, workload: Workload,
             oversubscription: float | None = None) -> RunResult:

@@ -3,6 +3,7 @@
 from .counters import AccessCounterFile
 from .driver import DriverCounters, UvmDriver, WaveOutcome
 from .eviction import ChunkDirectory, select_victims
+from .faults import FaultInjector
 from .prefetchers import (
     NoPrefetchStrategy,
     PrefetchStrategy,
@@ -18,6 +19,7 @@ __all__ = [
     "AccessCounterFile",
     "ChunkDirectory",
     "DriverCounters",
+    "FaultInjector",
     "NoPrefetchStrategy",
     "PrefetchStrategy",
     "PrefetchTree",

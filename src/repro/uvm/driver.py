@@ -32,6 +32,7 @@ from ..memory.device import DeviceMemory
 from ..memory.host import HostMemory
 from .counters import AccessCounterFile
 from .eviction import ChunkDirectory, select_victims
+from .faults import FaultInjector
 from .prefetchers import TreePrefetchStrategy, make_prefetcher
 from .residency import ResidencyMap
 from .tree import PrefetchTree
@@ -62,6 +63,14 @@ class WaveOutcome:
     writeback_blocks: int = 0
     #: Migrations (fault or prefetch) of a block with round trips > 0.
     thrash_migrations: int = 0
+    #: Migration attempts re-issued after an injected transient fault.
+    retried_transfers: int = 0
+    #: Far accesses degraded to the remote path after the migration
+    #: retry budget was exhausted (fault injection only).
+    degraded_accesses: int = 0
+    #: Cumulative retry backoff wait injected by fault handling, in
+    #: microseconds (converted to stall cycles by the timing model).
+    retry_backoff_us: float = 0.0
 
     @property
     def fault_events(self) -> int:
@@ -130,6 +139,13 @@ class UvmDriver:
                 if config.memory.prefetcher_enabled else "none")
         self.prefetcher = make_prefetcher(
             kind, config.memory.prefetch_degree, seed=config.seed)
+        #: Transient-fault source; None when both rates are 0.0 so the
+        #: zero-rate hot path is bit-identical to a fault-free build.
+        self.injector: FaultInjector | None = (
+            FaultInjector(config.faults, seed=config.seed)
+            if config.faults.enabled else None)
+        #: Re-verify accounting invariants after every wave (slow).
+        self.debug_invariants = config.debug_invariants
         self.stats = DriverCounters()
         self._clock = 0  # logical LRU timestamp, bumped per wave
         #: Resolve migrations through the batched drain (chunk-grouped
@@ -228,6 +244,8 @@ class UvmDriver:
 
         self.stats.waves += 1
         self.stats.totals.merge(out)
+        if self.debug_invariants:
+            self._check_wave_accounting()
         return out
 
     def _handle_far_accesses(self, nrb: np.ndarray, k: np.ndarray,
@@ -250,6 +268,13 @@ class UvmDriver:
         pinned_host = self.block_pinned_host[nrb]
         if pinned_host.any():
             migrate &= ~pinned_host
+
+        # Injected transient faults: a migration that exhausts its retry
+        # budget degrades to the remote path (joins the non-migrating
+        # blocks below); surviving retries charge backoff to the wave.
+        if (self.injector is not None and self.injector.enabled
+                and migrate.any()):
+            self._inject_migration_faults(k, c0, td, migrate, out)
 
         # Accesses served remotely before a (possible) migration trigger.
         remote_before = np.clip(td - 1 - c0, 0, k - 1)
@@ -274,6 +299,29 @@ class UvmDriver:
             drain = (self._drain_migrations_batched if self.batched_migrations
                      else self._drain_migrations_scalar)
             drain(mig, k[migrate], kw[migrate], remote[migrate], pinned, out)
+
+    def _inject_migration_faults(self, k: np.ndarray, c0: np.ndarray,
+                                 td: np.ndarray, migrate: np.ndarray,
+                                 out: WaveOutcome) -> None:
+        """Draw fault outcomes for every would-be migration, in order.
+
+        Mutates ``migrate`` in place: blocks whose migration failed past
+        the retry budget are flipped to the remote path.  Draw order is
+        wave order, so results are a pure function of the run seed.
+        """
+        fcfg = self.config.faults
+        injector = self.injector
+        for i in np.flatnonzero(migrate).tolist():
+            failures, ok = injector.migration_attempt()
+            if failures:
+                out.retried_transfers += failures
+                out.retry_backoff_us += fcfg.total_backoff_us(failures)
+            if not ok:
+                migrate[i] = False
+                # The accesses that would have hit device memory after
+                # the migration stay on the remote zero-copy path.
+                would_remote = int(min(max(td[i] - 1 - c0[i], 0), k[i] - 1))
+                out.degraded_accesses += int(k[i]) - would_remote
 
     def _drain_migrations_scalar(self, mig: np.ndarray, mig_k: np.ndarray,
                                  mig_kw: np.ndarray, mig_remote: np.ndarray,
@@ -591,6 +639,30 @@ class UvmDriver:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    def _check_wave_accounting(self) -> None:
+        """Cheap residency/capacity invariants, run after every wave.
+
+        Enabled by ``SimulationConfig.debug_invariants`` (or the CLI's
+        ``--debug-invariants``); unlike :meth:`check_consistency` this
+        avoids the per-chunk tree walk so it is affordable per wave, and
+        it pinpoints the first wave at which accounting drifted.
+        """
+        used = self.device.used_blocks
+        resident = self.residency.resident_count
+        if resident != used:
+            raise AssertionError(
+                f"wave {self.stats.waves}: residency map holds {resident} "
+                f"resident blocks but the device ledger charges {used}")
+        if used > self.device.capacity_blocks:
+            raise AssertionError(
+                f"wave {self.stats.waves}: {used} resident blocks exceed "
+                f"device capacity of {self.device.capacity_blocks} blocks")
+        occupancy = int(self.directory.occupancy.sum())
+        if occupancy != used:
+            raise AssertionError(
+                f"wave {self.stats.waves}: chunk occupancy sums to "
+                f"{occupancy} but the device ledger charges {used}")
 
     def check_consistency(self) -> None:
         """Verify cross-structure invariants (used by tests)."""

@@ -1,0 +1,141 @@
+"""Unit tests for the fault model and config validation layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FaultConfig, SimulationConfig
+from repro.uvm.faults import FaultInjector
+
+
+class TestFaultConfig:
+    def test_defaults_disabled(self):
+        cfg = FaultConfig()
+        assert not cfg.enabled
+        assert cfg.max_retries == 3
+
+    def test_enabled_when_any_rate_positive(self):
+        assert FaultConfig(transfer_fault_rate=0.1).enabled
+        assert FaultConfig(migration_fault_rate=0.1).enabled
+
+    @pytest.mark.parametrize("field", ["transfer_fault_rate",
+                                       "migration_fault_rate"])
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 2.0])
+    def test_rates_must_be_probabilities_below_one(self, field, rate):
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: rate})
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultConfig(max_retries=-1)
+
+    def test_backoff_validation(self):
+        with pytest.raises(ValueError, match="retry_backoff_us"):
+            FaultConfig(retry_backoff_us=-1.0)
+        with pytest.raises(ValueError, match="backoff_multiplier"):
+            FaultConfig(backoff_multiplier=0.5)
+
+    def test_total_backoff_geometric(self):
+        cfg = FaultConfig(retry_backoff_us=5.0, backoff_multiplier=2.0)
+        assert cfg.total_backoff_us(0) == 0.0
+        assert cfg.total_backoff_us(1) == pytest.approx(5.0)
+        assert cfg.total_backoff_us(3) == pytest.approx(5 + 10 + 20)
+
+    def test_total_backoff_constant_multiplier(self):
+        cfg = FaultConfig(retry_backoff_us=5.0, backoff_multiplier=1.0)
+        assert cfg.total_backoff_us(4) == pytest.approx(20.0)
+
+
+class TestFaultInjector:
+    def test_zero_rate_always_succeeds_without_draws(self):
+        inj = FaultInjector(FaultConfig(), seed=0)
+        state_before = inj._rng.bit_generator.state
+        for _ in range(10):
+            assert inj.migration_attempt() == (0, True)
+        assert inj._rng.bit_generator.state == state_before
+
+    def test_deterministic_per_seed(self):
+        cfg = FaultConfig(transfer_fault_rate=0.4,
+                          migration_fault_rate=0.2, max_retries=2)
+        a = FaultInjector(cfg, seed=42)
+        b = FaultInjector(cfg, seed=42)
+        seq_a = [a.migration_attempt() for _ in range(200)]
+        seq_b = [b.migration_attempt() for _ in range(200)]
+        assert seq_a == seq_b
+        assert a.injected_transfer_faults == b.injected_transfer_faults
+        assert a.injected_migration_faults == b.injected_migration_faults
+
+    def test_different_seeds_diverge(self):
+        cfg = FaultConfig(transfer_fault_rate=0.4, max_retries=2)
+        a = FaultInjector(cfg, seed=1)
+        b = FaultInjector(cfg, seed=2)
+        assert ([a.migration_attempt() for _ in range(100)]
+                != [b.migration_attempt() for _ in range(100)])
+
+    def test_failures_bounded_by_retry_budget(self):
+        cfg = FaultConfig(transfer_fault_rate=0.9, max_retries=2)
+        inj = FaultInjector(cfg, seed=0)
+        saw_degrade = False
+        for _ in range(100):
+            failures, ok = inj.migration_attempt()
+            assert failures <= cfg.max_retries + 1
+            if not ok:
+                saw_degrade = True
+                assert failures == cfg.max_retries + 1
+        assert saw_degrade
+        assert inj.injected_transfer_faults > 0
+
+    def test_counters_track_fault_sites(self):
+        cfg = FaultConfig(migration_fault_rate=0.9, max_retries=1)
+        inj = FaultInjector(cfg, seed=0)
+        for _ in range(50):
+            inj.migration_attempt()
+        assert inj.injected_migration_faults > 0
+        assert inj.injected_transfer_faults == 0
+
+
+class TestConfigValidate:
+    def test_default_config_valid(self):
+        cfg = SimulationConfig()
+        assert cfg.validate() is cfg
+
+    def test_catches_mutated_subconfig(self):
+        cfg = SimulationConfig()
+        object.__setattr__(cfg.faults, "transfer_fault_rate", 2.0)
+        with pytest.raises(ValueError, match="faults.*transfer_fault_rate"):
+            cfg.validate()
+
+    def test_cross_field_threshold_vs_counter(self):
+        cfg = SimulationConfig()
+        object.__setattr__(cfg.policy, "static_threshold",
+                           cfg.policy.counter_max + 1)
+        with pytest.raises(ValueError, match="static_threshold"):
+            cfg.validate()
+
+    def test_capacity_must_fit_eviction_granule(self):
+        cfg = SimulationConfig()
+        object.__setattr__(cfg.memory, "device_capacity", 1024)
+        with pytest.raises(ValueError, match="device_capacity"):
+            cfg.validate()
+
+    def test_reports_all_errors_at_once(self):
+        cfg = SimulationConfig()
+        object.__setattr__(cfg.faults, "max_retries", -5)
+        object.__setattr__(cfg.policy, "static_threshold",
+                           cfg.policy.counter_max + 1)
+        with pytest.raises(ValueError) as exc:
+            cfg.validate()
+        message = str(exc.value)
+        assert "max_retries" in message and "static_threshold" in message
+
+    def test_with_faults_returns_validated_copy(self):
+        cfg = SimulationConfig().with_faults(transfer_fault_rate=0.25,
+                                             max_retries=5)
+        assert cfg.faults.transfer_fault_rate == 0.25
+        assert cfg.faults.max_retries == 5
+        with pytest.raises(ValueError):
+            SimulationConfig().with_faults(transfer_fault_rate=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FaultConfig().transfer_fault_rate = 0.5
