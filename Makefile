@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke figures examples clean
+.PHONY: install test bench bench-smoke figures examples check-docs clean
 
 install:
 	pip install -e .
@@ -37,6 +37,10 @@ figures:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+# Documentation hygiene: links resolve, documented CLI commands parse.
+check-docs:
+	$(PYTHON) tools/check_docs.py
 
 clean:
 	rm -rf .pytest_cache benchmarks/results .benchmarks

@@ -90,6 +90,11 @@ class GridOptions:
     #: Serve previously journaled cells from the checkpoint instead of
     #: re-simulating them.
     resume: bool = False
+    #: Optional :class:`repro.obs.MetricsRegistry`: the runner records
+    #: per-cell wall time (``grid.cell_ms`` histogram) and
+    #: completion/retry/rebuild counters into it.  Never pickled to
+    #: workers; purely an orchestrator-side rollup.
+    metrics: object | None = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -100,6 +105,30 @@ class GridOptions:
             raise ValueError("cell_timeout must be positive (or None)")
         if self.resume and not self.checkpoint:
             raise ValueError("resume requires a checkpoint path")
+
+
+class _GridMetrics:
+    """Orchestrator-side rollup of one :func:`run_grid` invocation.
+
+    Thin adapter over a :class:`repro.obs.MetricsRegistry` so the hot
+    harvest loops touch pre-resolved metric objects instead of doing
+    name lookups per cell.
+    """
+
+    def __init__(self, registry) -> None:
+        #: Per-cell wall time in milliseconds.  Serial cells measure the
+        #: simulation exactly; parallel cells measure submit-to-harvest
+        #: (queueing included), which is what sweep latency feels like.
+        self.cell_ms = registry.histogram("grid.cell_ms")
+        self.completed = registry.counter("grid.cells_completed")
+        self.retried = registry.counter("grid.cell_retries")
+        self.stalled = registry.counter("grid.cells_stalled")
+        self.rebuilds = registry.counter("grid.pool_rebuilds")
+        self.from_checkpoint = registry.counter("grid.cells_from_checkpoint")
+
+    @staticmethod
+    def of(opts: "GridOptions") -> "_GridMetrics | None":
+        return _GridMetrics(opts.metrics) if opts.metrics is not None else None
 
 
 class GridExecutionError(RuntimeError):
@@ -167,6 +196,7 @@ def run_grid(cells, max_workers: int | None = None,
         from .checkpoint import CheckpointJournal, cell_key
         journal = CheckpointJournal(opts.checkpoint)
         if opts.resume:
+            gm = _GridMetrics.of(opts)
             cached = journal.load()
             fresh = []
             for i in pending:
@@ -177,6 +207,8 @@ def run_grid(cells, max_workers: int | None = None,
                 if hit is not None and not (cell.collect_histogram
                                             or cell.collect_trace):
                     results[i] = hit
+                    if gm is not None:
+                        gm.from_checkpoint.inc()
                 else:
                     fresh.append(i)
             pending = fresh
@@ -214,17 +246,24 @@ def _backoff(opts: GridOptions, attempt: int) -> None:
 
 def _run_serial(cells, pending, results, opts, journal) -> None:
     """In-process execution with per-cell retry and journaling."""
+    gm = _GridMetrics.of(opts)
     for i in pending:
         attempts = 0
         while True:
+            start = time.perf_counter()
             try:
                 result = run_cell(cells[i])
                 break
             except Exception as exc:
                 attempts += 1
+                if gm is not None:
+                    gm.retried.inc()
                 if attempts > opts.retries:
                     raise GridExecutionError(cells[i], attempts) from exc
                 _backoff(opts, attempts)
+        if gm is not None:
+            gm.cell_ms.observe((time.perf_counter() - start) * 1e3)
+            gm.completed.inc()
         _store(results, journal, cells[i], i, result)
 
 
@@ -250,6 +289,7 @@ def _run_parallel(cells, pending, results, opts, journal,
     rather than to individual cells; cell-level exceptions and hangs
     consume that cell's own retry budget.
     """
+    gm = _GridMetrics.of(opts)
     attempts = dict.fromkeys(pending, 0)
     pool_rebuilds = 0
     remaining = list(pending)
@@ -269,8 +309,10 @@ def _run_parallel(cells, pending, results, opts, journal,
         stalled: list[int] = []
         failed: list[tuple[int, BaseException]] = []
         future_of: dict = {}
+        submitted_at: dict[int, float] = {}
         try:
             for i in remaining:
+                submitted_at[i] = time.perf_counter()
                 future_of[pool.submit(run_cell, cells[i])] = i
         except BrokenProcessPool:
             pool_broke = True
@@ -295,6 +337,10 @@ def _run_parallel(cells, pending, results, opts, journal,
                 except Exception as exc:
                     failed.append((i, exc))
                 else:
+                    if gm is not None:
+                        gm.cell_ms.observe(
+                            (time.perf_counter() - submitted_at[i]) * 1e3)
+                        gm.completed.inc()
                     _store(results, journal, cells[i], i, result)
                     completed_here += 1
         pool.shutdown(wait=not stalled, cancel_futures=True)
@@ -304,11 +350,15 @@ def _run_parallel(cells, pending, results, opts, journal,
             if isinstance(exc, BrokenProcessPool):
                 continue  # pool-level, charged to the rebuild budget
             attempts[i] += 1
+            if gm is not None:
+                gm.retried.inc()
             if attempts[i] > opts.retries:
                 raise GridExecutionError(cells[i], attempts[i]) from exc
         worst = 0
         for i in stalled:
             attempts[i] += 1
+            if gm is not None:
+                gm.stalled.inc()
             worst = max(worst, attempts[i])
             if attempts[i] > opts.retries:
                 raise GridExecutionError(cells[i], attempts[i]) from (
@@ -317,6 +367,8 @@ def _run_parallel(cells, pending, results, opts, journal,
                         f"{opts.cell_timeout}s"))
         if pool_broke:
             pool_rebuilds += 1
+            if gm is not None:
+                gm.rebuilds.inc()
             if completed_here == 0 and pool_rebuilds >= _MAX_POOL_REBUILDS:
                 # The pool breaks without making progress: stop burning
                 # incarnations and finish the grid in-process.

@@ -19,8 +19,18 @@ Commands
 ``trace``
     Record a workload's access trace to a file, or replay a trace file
     under a chosen configuration.
+``inspect``
+    Summarize a structured event log recorded with ``--events``:
+    top-thrashing blocks and the threshold trajectory per allocation.
 ``list``
     Show available workloads, scales, policies and figures.
+
+The simulation commands (``run``, ``trace replay``) accept the
+observability flags ``--events out.jsonl`` (structured event log),
+``--metrics out.json`` (counter/histogram rollup), and ``--profile``
+(per-phase wall-clock breakdown); the grid commands (``figure``,
+``sweep``) accept ``--metrics`` for per-cell timing and retry rollups.
+All of them are off by default and cost nothing when off.
 """
 
 from __future__ import annotations
@@ -78,13 +88,57 @@ def _make_workload(name: str, scale: str):
 def _grid_options(args):
     """Build GridOptions from the resilience flags (figure/sweep)."""
     from .analysis import GridOptions
+    registry = None
+    if getattr(args, "metrics", None):
+        from .obs import MetricsRegistry
+        registry = MetricsRegistry()
     try:
         return GridOptions(retries=args.retries,
                            cell_timeout=args.cell_timeout,
                            checkpoint=args.checkpoint,
-                           resume=args.resume)
+                           resume=args.resume,
+                           metrics=registry)
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}") from None
+
+
+def _finish_grid_metrics(grid, args) -> None:
+    """Write the grid runner's metric rollup after a figure/sweep."""
+    if grid.metrics is not None:
+        grid.metrics.write_json(args.metrics)
+        print(f"[grid metrics written to {args.metrics}]")
+
+
+def _make_obs(args):
+    """Build an Observability handle from --events/--metrics/--profile.
+
+    Returns ``None`` when all three flags are off, which keeps the
+    simulation on the zero-overhead uninstrumented path.
+    """
+    events = getattr(args, "events", None)
+    metrics = getattr(args, "metrics", None)
+    profile = getattr(args, "profile", False)
+    if not (events or metrics or profile):
+        return None
+    from .obs import Observability
+    return Observability.create(events_path=events, metrics=bool(metrics),
+                                profile=profile)
+
+
+def _finish_obs(obs, args) -> None:
+    """Flush observability outputs after a simulation command."""
+    if obs is None:
+        return
+    obs.close()
+    if getattr(args, "metrics", None):
+        obs.metrics.write_json(args.metrics)
+        print(f"[metrics written to {args.metrics}]")
+    if getattr(args, "events", None):
+        print(f"[events written to {args.events}; summarize with "
+              f"`repro inspect {args.events}`]")
+    if getattr(args, "profile", False):
+        print()
+        print(obs.profiler.render())
 
 
 def _print_summary(result) -> None:
@@ -106,8 +160,10 @@ def _print_summary(result) -> None:
 def cmd_run(args) -> int:
     cfg = _build_config(args)
     wl = _make_workload(args.workload, args.scale)
-    result = Simulator(cfg).run(wl, oversubscription=args.oversub)
+    obs = _make_obs(args)
+    result = Simulator(cfg).run(wl, oversubscription=args.oversub, obs=obs)
     _print_summary(result)
+    _finish_obs(obs, args)
     if args.histogram:
         rows = [[s["name"], s["pages"], s["reads"], s["writes"],
                  round(s["accesses_per_page"], 1),
@@ -191,6 +247,7 @@ def cmd_figure(args) -> int:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
         print(f"[saved to {args.out}]")
+    _finish_grid_metrics(grid, args)
     return 0
 
 
@@ -206,6 +263,7 @@ def cmd_sweep(args) -> int:
             args.workload, policy=policy, rates=rates, scale=args.scale,
             seed=args.seed, jobs=args.jobs, grid=grid)
         print(res.render())
+        _finish_grid_metrics(grid, args)
         return 0
     try:
         policies = tuple(MigrationPolicy(p)
@@ -217,6 +275,7 @@ def cmd_sweep(args) -> int:
         args.workload, policies=policies, levels=levels, scale=args.scale,
         seed=args.seed, jobs=args.jobs, grid=grid)
     print(res.render())
+    _finish_grid_metrics(grid, args)
     return 0
 
 
@@ -231,9 +290,21 @@ def cmd_trace(args) -> int:
         return 0
     # replay
     cfg = _build_config(args)
+    obs = _make_obs(args)
     result = Simulator(cfg).run(TraceWorkload(args.input),
-                                oversubscription=args.oversub)
+                                oversubscription=args.oversub, obs=obs)
     _print_summary(result)
+    _finish_obs(obs, args)
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from .obs.inspect import render_summary, summarize
+    try:
+        summary = summarize(args.events)
+    except OSError as exc:
+        raise SystemExit(f"repro inspect: {exc}") from None
+    print(render_summary(summary, top=args.top))
     return 0
 
 
@@ -298,8 +369,27 @@ def _add_sim_args(p, with_oversub=True) -> None:
                             "(1.25 = 125%% oversubscription)")
 
 
+def _add_obs_args(p) -> None:
+    """Observability flags for the simulation commands (run, replay)."""
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="write structured driver events (migration "
+                        "decisions, evictions, counter halvings) to this "
+                        "JSONL file; summarize with `repro inspect`")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write the metric rollup (decision counters, "
+                        "threshold histogram, PCIe queue depth series) "
+                        "to this JSON file")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-phase wall-clock time breakdown "
+                        "(wave loop, migrate drain, eviction, prefetch "
+                        "tree) after the run")
+
+
 def _add_grid_args(p) -> None:
     """Resilience flags for the grid-running commands (figure, sweep)."""
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write grid-runner metrics (per-cell wall time, "
+                        "retries, pool rebuilds) to this JSON file")
     p.add_argument("--retries", type=int, default=2,
                    help="extra attempts per grid cell after a failure")
     p.add_argument("--cell-timeout", type=float, default=None,
@@ -327,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--histogram", action="store_true",
                    help="collect per-allocation access histograms")
     _add_sim_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="all four policies on one workload")
@@ -381,7 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
     pp = tsub.add_parser("replay")
     pp.add_argument("-i", "--input", required=True)
     _add_sim_args(pp)
+    _add_obs_args(pp)
     pp.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("inspect", help="summarize a structured event log")
+    p.add_argument("events", help="JSONL event log written by --events")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="thrashing blocks to show (default 10)")
+    p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser("list", help="show available names")
     p.set_defaults(func=cmd_list)

@@ -19,31 +19,61 @@ class GpuExecutionEngine:
     """Runs a workload to completion and accumulates cycles and events."""
 
     def __init__(self, driver: UvmDriver, timing: TimingModel,
-                 collector: StatsCollector | None = None) -> None:
+                 collector: StatsCollector | None = None,
+                 obs=None) -> None:
         self.driver = driver
         self.timing = timing
         self.collector = collector
         self.cycle = 0.0
         self.total_timing = WaveTiming()
         self.total_events = WaveOutcome()
+        #: Optional :class:`repro.obs.Observability` handle.  The engine
+        #: contributes the wave-loop rollups: a wave-cycle histogram and
+        #: the PCIe-queue-depth / device-occupancy time series.  All of
+        #: it is read-only over simulation state.
+        self.obs = obs
+        self._prof = obs.profiler if obs is not None else None
+        self._m_wave_cycles = None
+        if obs is not None and obs.metrics is not None:
+            m = obs.metrics
+            self._m_wave_cycles = m.histogram("engine.wave_cycles")
+            self._m_queue = m.series("pcie.queued_blocks")
+            self._m_occupancy = m.series("device.occupancy")
 
     def run_kernel(self, launch: KernelLaunch) -> float:
         """Execute one kernel launch; returns its cycle cost."""
         kernel_cycles = 0.0
         kernel_accesses = 0
+        prof = self._prof
         for wave in launch.waves():
             if self.collector is not None:
                 self.collector.on_wave(launch.name, launch.iteration,
                                        self.cycle, wave.pages, wave.is_write,
                                        wave.counts)
-            outcome = self.driver.process_wave(wave.pages, wave.is_write,
-                                               wave.counts)
+            if prof is not None:
+                with prof.span("wave"):
+                    outcome = self.driver.process_wave(
+                        wave.pages, wave.is_write, wave.counts)
+            else:
+                outcome = self.driver.process_wave(wave.pages, wave.is_write,
+                                                   wave.counts)
             t = self.timing.wave_cycles(outcome, wave.compute_cycles)
             self.total_timing.merge(t)
             self.total_events.merge(outcome)
             self.cycle += t.total
             kernel_cycles += t.total
             kernel_accesses += outcome.n_accesses
+            if self._m_wave_cycles is not None:
+                self._m_wave_cycles.observe(t.total)
+                # Link pressure proxy: blocks queued on PCIe this wave
+                # (h2d migrations + prefetches + d2h write-backs).
+                self._m_queue.append(
+                    self.cycle,
+                    outcome.h2d_blocks + outcome.writeback_blocks)
+                self._m_occupancy.append(
+                    self.cycle,
+                    self.driver.device.used_blocks
+                    / self.driver.device.capacity_blocks)
             if self.collector is not None:
                 self.collector.on_timeline(
                     self.cycle, self.driver.device.used_blocks,

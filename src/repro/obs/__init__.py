@@ -1,0 +1,122 @@
+"""Observability: structured events, rollup metrics, phase profiling.
+
+The package is the simulator's measurement plane.  One
+:class:`Observability` handle bundles the three independent facilities
+and is threaded through :class:`~repro.sim.simulator.Simulator` into
+the driver and engine:
+
+* an :class:`~repro.obs.bus.EventBus` of typed per-decision events
+  (:mod:`repro.obs.events`) fanned out to pluggable sinks
+  (:mod:`repro.obs.sinks`);
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges,
+  histograms and time series;
+* a :class:`~repro.obs.profiling.PhaseProfiler` of wall-clock span
+  timers around the driver's hot phases.
+
+Everything is off by default: a run constructed without a handle pays
+nothing (instrumented sites guard on a single attribute check), and a
+run with only a :class:`~repro.obs.sinks.NullSink` attached is
+bit-identical to an uninstrumented one.  See ``docs/observability.md``
+for the schema and CLI workflow (``--events``, ``--metrics``,
+``--profile``, ``repro inspect``).
+
+>>> from repro.obs import Observability, RingBufferSink
+>>> obs = Observability()
+>>> ring = RingBufferSink(capacity=64)
+>>> obs.bus.attach(ring)
+>>> obs.enabled
+True
+"""
+
+from __future__ import annotations
+
+from .bus import EventBus
+from .events import (
+    EVENT_TYPES,
+    CounterHalving,
+    Event,
+    Eviction,
+    FaultRetry,
+    MigrationDecision,
+    PrefetchExpand,
+    RunMeta,
+    from_dict,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+from .profiling import PhaseProfiler
+from .sinks import JsonlSink, MetricsSink, NullSink, RingBufferSink, Sink
+
+
+class Observability:
+    """Bundle of the event bus, metrics registry, and profiler.
+
+    All three parts are optional-by-construction: the bus always
+    exists (attach sinks to activate it); ``metrics`` and ``profiler``
+    are created on demand by the factory arguments or assigned
+    directly.  Pass a handle to ``Simulator.run(..., obs=...)``.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 profiler: PhaseProfiler | None = None) -> None:
+        self.bus = EventBus()
+        self.metrics = metrics
+        self.profiler = profiler
+
+    @property
+    def enabled(self) -> bool:
+        """True when any facility would actually record something."""
+        return (self.bus.enabled or self.metrics is not None
+                or self.profiler is not None)
+
+    @classmethod
+    def create(cls, events_path=None, metrics: bool = False,
+               profile: bool = False,
+               ring_capacity: int | None = None) -> "Observability":
+        """Assemble a handle from the CLI-style knobs.
+
+        ``events_path`` attaches a :class:`JsonlSink`; ``metrics``
+        creates a registry and routes events into it through a
+        :class:`MetricsSink`; ``profile`` attaches a profiler;
+        ``ring_capacity`` attaches an in-memory ring buffer.
+        """
+        obs = cls()
+        if metrics:
+            obs.metrics = MetricsRegistry()
+            obs.bus.attach(MetricsSink(obs.metrics))
+        if events_path is not None:
+            obs.bus.attach(JsonlSink(events_path))
+        if ring_capacity is not None:
+            obs.bus.attach(RingBufferSink(ring_capacity))
+        if profile:
+            obs.profiler = PhaseProfiler()
+        return obs
+
+    def close(self) -> None:
+        """Flush and close every sink (safe to call more than once)."""
+        self.bus.close()
+
+
+__all__ = [
+    "Counter",
+    "CounterHalving",
+    "EVENT_TYPES",
+    "Event",
+    "EventBus",
+    "Eviction",
+    "FaultRetry",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSink",
+    "MigrationDecision",
+    "NullSink",
+    "Observability",
+    "PhaseProfiler",
+    "PrefetchExpand",
+    "RingBufferSink",
+    "RunMeta",
+    "Series",
+    "Sink",
+    "from_dict",
+]

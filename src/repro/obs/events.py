@@ -1,0 +1,170 @@
+"""Typed structured events emitted by the instrumented simulator.
+
+Every event is a small frozen dataclass with a class-level ``kind`` tag
+and flat, JSON-serializable fields.  The driver constructs events only
+when at least one sink is attached to the :class:`~repro.obs.bus.EventBus`
+(the default run has none), so the schema can afford to be explicit:
+each event captures one *decision* the paper's mechanism made, not one
+array mutation.
+
+Schema stability contract: fields are only ever added, never renamed or
+re-typed, so archived JSONL logs keep replaying through
+:mod:`repro.obs.inspect`.  The serialized form is
+``{"event": <kind>, **fields}`` (see :meth:`Event.as_dict`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class: a tagged, flatly-serializable simulator event."""
+
+    #: Event-type tag used in serialized form; overridden per subclass.
+    kind = "event"
+
+    def as_dict(self) -> dict:
+        """Flat dict form, ``{"event": kind, **fields}`` (JSONL row)."""
+        d = {"event": self.kind}
+        for f in dataclasses.fields(self):
+            d[f.name] = getattr(self, f.name)
+        return d
+
+
+@dataclass(frozen=True, slots=True)
+class RunMeta(Event):
+    """Run header: emitted once so logs are self-describing.
+
+    ``allocations`` maps the block address space back to the workload's
+    managed allocations as ``(name, first_block, last_block)`` tuples
+    (half-open range), which lets :mod:`repro.obs.inspect` attribute
+    per-block events to allocations.
+    """
+
+    kind = "run_meta"
+
+    workload: str
+    policy: str
+    seed: int
+    total_blocks: int
+    capacity_blocks: int
+    allocations: tuple[tuple[str, int, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationDecision(Event):
+    """One far-accessed block's migrate-vs-remote verdict (per wave).
+
+    ``counter`` is the pre-wave counter baseline the policy judged
+    against and ``threshold`` the ``td`` it had to reach; ``accesses``
+    is the wave's coalesced access count for the block.  ``migrated``
+    is the final verdict *after* programmer hints and injected-fault
+    degradation.
+    """
+
+    kind = "migration_decision"
+
+    wave: int
+    block: int
+    threshold: int
+    counter: int
+    accesses: int
+    migrated: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Eviction(Event):
+    """One eviction of ``blocks`` 64KB blocks from chunk ``chunk``.
+
+    ``whole_chunk`` distinguishes 2MB chunk-granular eviction from the
+    64KB block-granular mode; ``dirty_blocks`` counts device->host
+    write-backs the eviction forced.
+    """
+
+    kind = "eviction"
+
+    wave: int
+    chunk: int
+    blocks: int
+    dirty_blocks: int
+    whole_chunk: bool
+
+
+@dataclass(frozen=True, slots=True)
+class CounterHalving(Event):
+    """A global halving of one access-counter field on saturation.
+
+    ``field`` is ``"counts"`` (27-bit access field) or ``"roundtrips"``
+    (5-bit round-trip field); ``halvings`` is the cumulative halving
+    count for that field after this event.
+    """
+
+    kind = "counter_halving"
+
+    wave: int
+    field: str
+    halvings: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRetry(Event):
+    """Injected transient-fault handling on one block's migration.
+
+    ``failures`` failed attempts were re-tried (each charged a backoff
+    wait); ``degraded`` is True when the retry budget ran out and the
+    access fell back to the remote zero-copy path.
+    """
+
+    kind = "fault_retry"
+
+    wave: int
+    block: int
+    failures: int
+    degraded: bool
+
+
+@dataclass(frozen=True, slots=True)
+class PrefetchExpand(Event):
+    """A fault's tree-prefetch expansion that actually installed blocks.
+
+    ``fault_block`` is the faulting block that triggered the prefetcher
+    and ``blocks`` the number of extra 64KB blocks pulled in alongside
+    it (the fault block itself is not counted).
+    """
+
+    kind = "prefetch_expand"
+
+    wave: int
+    chunk: int
+    fault_block: int
+    blocks: int
+
+
+#: kind tag -> event class, for deserializing JSONL logs.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (RunMeta, MigrationDecision, Eviction, CounterHalving,
+                FaultRetry, PrefetchExpand)
+}
+
+
+def from_dict(row: dict) -> Event:
+    """Rebuild an event from its :meth:`Event.as_dict` form.
+
+    Unknown keys are ignored (forward compatibility: newer writers may
+    add fields), unknown kinds raise ``ValueError``.
+    """
+    kind = row["event"]
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}; "
+                         f"known: {', '.join(sorted(EVENT_TYPES))}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {k: v for k, v in row.items() if k in names}
+    if cls is RunMeta and "allocations" in kwargs:
+        kwargs["allocations"] = tuple(
+            tuple(a) for a in kwargs["allocations"])
+    return cls(**kwargs)

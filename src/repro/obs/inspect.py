@@ -1,0 +1,264 @@
+"""Post-mortem analysis of a JSONL event log (``repro inspect``).
+
+Reads a log written by :class:`~repro.obs.sinks.JsonlSink` and distills
+the questions the paper's mechanism raises in practice:
+
+* **Which blocks thrash?**  Blocks re-migrated after eviction are the
+  pathology the adaptive threshold exists to stop; the summary ranks
+  them and attributes each to its managed allocation.
+* **How did the threshold move?**  Per allocation, the trajectory of
+  the mean ``td`` far accesses were judged against -- flat 1 means
+  first-touch behaviour, a rising curve shows Equation 1 progressively
+  pinning an allocation to host memory.
+* **What did eviction and fault handling cost?**  Totals per event
+  kind, eviction write-back volume, injected-fault retry outcomes.
+
+Everything works from the log alone (the :class:`~repro.obs.events.RunMeta`
+header makes logs self-describing); no simulator state is needed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .events import (
+    CounterHalving,
+    Event,
+    Eviction,
+    FaultRetry,
+    MigrationDecision,
+    PrefetchExpand,
+    RunMeta,
+    from_dict,
+)
+
+#: Sparkline glyphs, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def iter_events(path):
+    """Yield events from a JSONL log, skipping blank and torn lines.
+
+    A log cut short by a killed run may end mid-line; such torn tails
+    are ignored, matching the checkpoint journal's reader semantics.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            yield from_dict(row)
+
+
+@dataclass
+class AllocationTrend:
+    """Per-allocation migrate-vs-remote and threshold statistics."""
+
+    name: str
+    first_block: int
+    last_block: int
+    decisions: int = 0
+    migrated: int = 0
+    max_threshold: int = 0
+    #: wave -> [threshold sum, decision count]
+    _by_wave: dict = field(default_factory=dict, repr=False)
+
+    def observe(self, ev: MigrationDecision) -> None:
+        self.decisions += 1
+        if ev.migrated:
+            self.migrated += 1
+        if ev.threshold > self.max_threshold:
+            self.max_threshold = ev.threshold
+        entry = self._by_wave.get(ev.wave)
+        if entry is None:
+            self._by_wave[ev.wave] = [ev.threshold, 1]
+        else:
+            entry[0] += ev.threshold
+            entry[1] += 1
+
+    def trajectory(self, buckets: int = 32) -> list[float]:
+        """Mean threshold over time, compressed to <= ``buckets`` points."""
+        if not self._by_wave:
+            return []
+        waves = sorted(self._by_wave)
+        lo, hi = waves[0], waves[-1]
+        span = max(hi - lo + 1, 1)
+        sums = [0.0] * min(buckets, span)
+        counts = [0] * len(sums)
+        for w in waves:
+            i = min((w - lo) * len(sums) // span, len(sums) - 1)
+            s, n = self._by_wave[w]
+            sums[i] += s
+            counts[i] += n
+        return [s / n for s, n in zip(sums, counts) if n]
+
+    def sparkline(self, buckets: int = 32) -> str:
+        """ASCII sketch of the threshold trajectory."""
+        traj = self.trajectory(buckets)
+        if not traj:
+            return ""
+        lo, hi = min(traj), max(traj)
+        if hi - lo < 1e-12:
+            return _SPARK[0] * len(traj)
+        return "".join(
+            _SPARK[int((v - lo) / (hi - lo) * (len(_SPARK) - 1))]
+            for v in traj)
+
+
+@dataclass
+class LogSummary:
+    """Aggregated view of one event log."""
+
+    meta: RunMeta | None = None
+    #: event kind -> count
+    event_counts: dict = field(default_factory=dict)
+    #: block -> number of migrations (MigrationDecision.migrated)
+    migrations_per_block: dict = field(default_factory=dict)
+    #: block -> last threshold it was judged against
+    last_threshold: dict = field(default_factory=dict)
+    allocations: list[AllocationTrend] = field(default_factory=list)
+    evicted_blocks: int = 0
+    writeback_blocks: int = 0
+    prefetched_blocks: int = 0
+    fault_retries: int = 0
+    degraded_migrations: int = 0
+    halvings: dict = field(default_factory=dict)
+    last_wave: int = 0
+
+    def allocation_of(self, block: int) -> str:
+        """Allocation name owning ``block`` (from the RunMeta header)."""
+        for a in self.allocations:
+            if a.first_block <= block < a.last_block:
+                return a.name
+        return "?"
+
+    def top_thrashing_blocks(self, n: int = 10) -> list[dict]:
+        """Blocks migrated more than once, worst first.
+
+        A block that migrated k times was evicted and pulled back
+        k - 1 times -- the round trips Figure 7 counts.
+        """
+        rows = [
+            {"block": b, "allocation": self.allocation_of(b),
+             "migrations": m, "round_trips": m - 1,
+             "last_threshold": self.last_threshold.get(b, 0)}
+            for b, m in self.migrations_per_block.items() if m > 1
+        ]
+        rows.sort(key=lambda r: (-r["migrations"], r["block"]))
+        return rows[:n]
+
+
+def summarize(path_or_events) -> LogSummary:
+    """Build a :class:`LogSummary` from a JSONL path or event iterable."""
+    events = (iter_events(path_or_events)
+              if isinstance(path_or_events, (str, bytes)) or hasattr(
+                  path_or_events, "__fspath__")
+              else path_or_events)
+    s = LogSummary()
+    for ev in events:
+        s.event_counts[ev.kind] = s.event_counts.get(ev.kind, 0) + 1
+        if type(ev) is MigrationDecision:
+            s.last_wave = max(s.last_wave, ev.wave)
+            s.last_threshold[ev.block] = ev.threshold
+            if ev.migrated:
+                s.migrations_per_block[ev.block] = (
+                    s.migrations_per_block.get(ev.block, 0) + 1)
+            for trend in s.allocations:
+                if trend.first_block <= ev.block < trend.last_block:
+                    trend.observe(ev)
+                    break
+        elif type(ev) is Eviction:
+            s.last_wave = max(s.last_wave, ev.wave)
+            s.evicted_blocks += ev.blocks
+            s.writeback_blocks += ev.dirty_blocks
+        elif type(ev) is PrefetchExpand:
+            s.prefetched_blocks += ev.blocks
+        elif type(ev) is FaultRetry:
+            s.fault_retries += ev.failures
+            if ev.degraded:
+                s.degraded_migrations += 1
+        elif type(ev) is CounterHalving:
+            s.halvings[ev.field] = max(
+                s.halvings.get(ev.field, 0), ev.halvings)
+        elif type(ev) is RunMeta:
+            s.meta = ev
+            s.allocations = [
+                AllocationTrend(name, first, last)
+                for name, first, last in ev.allocations]
+    return s
+
+
+def _table(headers: list[str], rows: list[list]) -> str:
+    """Minimal aligned table (kept local to avoid importing analysis)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(row):
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in cells]
+    return "\n".join(lines)
+
+
+def render_summary(summary: LogSummary, top: int = 10) -> str:
+    """Human-readable report of a :func:`summarize` result."""
+    lines: list[str] = []
+    meta = summary.meta
+    if meta is not None:
+        lines.append(
+            f"== event log: {meta.workload} / {meta.policy} "
+            f"(seed {meta.seed}, {meta.total_blocks} blocks, "
+            f"capacity {meta.capacity_blocks} blocks) ==")
+    else:
+        lines.append("== event log (no run_meta header) ==")
+    lines.append("")
+    lines.append(_table(
+        ["event", "count"],
+        [[k, n] for k, n in sorted(summary.event_counts.items())]))
+
+    lines.append("")
+    lines.append(f"evicted blocks:      {summary.evicted_blocks}")
+    lines.append(f"write-back blocks:   {summary.writeback_blocks}")
+    lines.append(f"prefetched blocks:   {summary.prefetched_blocks}")
+    if summary.fault_retries or summary.degraded_migrations:
+        lines.append(f"fault retries:       {summary.fault_retries}")
+        lines.append(f"degraded migrations: {summary.degraded_migrations}")
+    for fname, n in sorted(summary.halvings.items()):
+        lines.append(f"counter halvings ({fname}): {n}")
+
+    thrash = summary.top_thrashing_blocks(top)
+    lines.append("")
+    if thrash:
+        lines.append(f"-- top thrashing blocks (of "
+                     f"{sum(1 for m in summary.migrations_per_block.values() if m > 1)} "
+                     f"with round trips)")
+        lines.append(_table(
+            ["block", "allocation", "migrations", "round trips", "last td"],
+            [[r["block"], r["allocation"], r["migrations"],
+              r["round_trips"], r["last_threshold"]] for r in thrash]))
+    else:
+        lines.append("-- no thrashing blocks (no block migrated twice)")
+
+    trends = [t for t in summary.allocations if t.decisions]
+    if trends:
+        lines.append("")
+        lines.append("-- threshold trajectory per allocation "
+                     "(mean td over time, first -> last wave)")
+        rows = []
+        for t in trends:
+            traj = t.trajectory()
+            rows.append([
+                t.name, t.decisions,
+                f"{100 * t.migrated / t.decisions:.0f}%",
+                f"{traj[0]:.1f}" if traj else "-",
+                f"{traj[-1]:.1f}" if traj else "-",
+                t.max_threshold, t.sparkline()])
+        lines.append(_table(
+            ["allocation", "decisions", "migrated", "td first", "td last",
+             "td max", "trajectory"], rows))
+    return "\n".join(lines)

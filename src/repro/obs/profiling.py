@@ -1,0 +1,103 @@
+"""Lightweight phase profiling: wall-clock span timers.
+
+``PhaseProfiler`` accumulates ``perf_counter`` time per named phase.
+It measures *host* wall time of the Python simulator (where does a slow
+sweep actually spend its seconds: migrate-drain? eviction? prefetch
+trees?), not simulated GPU cycles -- the timing model owns those.
+
+Spans never touch simulation state, so profiling cannot perturb
+results; the only cost is the clock reads, which is why the driver
+guards every span site on ``profiler is not None`` and the default run
+carries no profiler at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class _Span:
+    """Context manager timing one phase entry (re-entrant safe)."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler.add(self._name, time.perf_counter() - self._t0)
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and call counts per phase name."""
+
+    def __init__(self) -> None:
+        #: phase name -> [seconds, calls]
+        self.phases: dict[str, list] = {}
+
+    def span(self, name: str) -> _Span:
+        """Context manager charging its elapsed wall time to ``name``."""
+        return _Span(self, name)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Charge ``seconds`` (and ``calls`` entries) to phase ``name``."""
+        entry = self.phases.get(name)
+        if entry is None:
+            self.phases[name] = [seconds, calls]
+        else:
+            entry[0] += seconds
+            entry[1] += calls
+
+    def wrap(self, name: str, fn):
+        """Return ``fn`` wrapped so every call is charged to ``name``.
+
+        Used on hot callables (the per-fault prefetch-tree update) so
+        the un-profiled path keeps calling the bare function.
+        """
+        perf = time.perf_counter
+        add = self.add
+
+        def timed(*args, **kwargs):
+            t0 = perf()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                add(name, perf() - t0)
+
+        return timed
+
+    def report(self) -> list[dict]:
+        """Per-phase totals, heaviest first."""
+        rows = [{"phase": name, "seconds": sec, "calls": calls,
+                 "mean_us": (sec / calls) * 1e6 if calls else 0.0}
+                for name, (sec, calls) in self.phases.items()]
+        rows.sort(key=lambda r: r["seconds"], reverse=True)
+        return rows
+
+    def render(self) -> str:
+        """ASCII per-phase breakdown (the ``--profile`` output)."""
+        rows = self.report()
+        if not rows:
+            return "(no profiled phases)"
+        # Phases nest (waves contain drains contain evictions), so
+        # normalize against the heaviest phase, not the sum.
+        top = rows[0]["seconds"] or 1.0
+        lines = ["-- profile: wall-clock time per phase (phases nest; "
+                 "percentages are of the heaviest phase)",
+                 f"{'phase':<20} {'seconds':>10} {'calls':>10} "
+                 f"{'mean us':>10} {'share':>7}"]
+        for r in rows:
+            lines.append(
+                f"{r['phase']:<20} {r['seconds']:>10.4f} {r['calls']:>10} "
+                f"{r['mean_us']:>10.1f} {100 * r['seconds'] / top:>6.1f}%")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable phase totals."""
+        return {name: {"seconds": sec, "calls": calls}
+                for name, (sec, calls) in sorted(self.phases.items())}

@@ -1,0 +1,163 @@
+"""Event sinks: where the bus delivers structured events.
+
+Any object with a ``write(event)`` method is a valid sink; the classes
+here cover the three shipped destinations plus the no-op used by the
+bit-identity property test:
+
+* :class:`NullSink` -- accepts and discards everything.  A bus with only
+  a ``NullSink`` attached exercises the full emission path (events are
+  constructed and dispatched) without observable effect; the property
+  suite pins that such a run is bit-identical to one with no
+  observability wired at all.
+* :class:`RingBufferSink` -- keeps the most recent N events in memory,
+  for tests and interactive post-mortems.
+* :class:`JsonlSink` -- appends one JSON object per event to a file;
+  the durable format ``repro inspect`` consumes.
+* :class:`MetricsSink` -- rolls events up into a
+  :class:`~repro.obs.metrics.MetricsRegistry` instead of storing them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+from .events import (
+    CounterHalving,
+    Eviction,
+    Event,
+    FaultRetry,
+    MigrationDecision,
+    PrefetchExpand,
+)
+from .metrics import MetricsRegistry
+
+
+class Sink:
+    """Base sink: interface documentation plus default no-op close."""
+
+    def write(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; called by ``EventBus.close()``."""
+
+
+class NullSink(Sink):
+    """Discards every event (keeps the bus enabled, output disabled)."""
+
+    def write(self, event: Event) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keeps the ``capacity`` most recent events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buf: deque[Event] = deque(maxlen=capacity)
+        #: Total events ever written (>= len(self) once the ring wraps).
+        self.total_written = 0
+
+    def write(self, event: Event) -> None:
+        self._buf.append(event)
+        self.total_written += 1
+
+    @property
+    def events(self) -> list[Event]:
+        """The retained events, oldest first."""
+        return list(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self):
+        return iter(self._buf)
+
+    def clear(self) -> None:
+        """Drop the retained events (the write counter keeps counting)."""
+        self._buf.clear()
+
+
+class JsonlSink(Sink):
+    """Appends one compact JSON object per event to ``path``.
+
+    The file is opened eagerly (fail fast on an unwritable path) and
+    buffered; ``close()`` flushes.  Rows are ``Event.as_dict()`` with
+    an ``"event"`` kind tag, parse back via
+    :func:`repro.obs.events.from_dict`.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def write(self, event: Event) -> None:
+        json.dump(event.as_dict(), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class MetricsSink(Sink):
+    """Rolls events up into counters/histograms as they are emitted.
+
+    Metrics maintained (all under the ``driver.`` prefix):
+
+    * ``driver.decisions.migrate`` / ``driver.decisions.remote``
+      (counters) -- migrate-vs-remote verdicts;
+    * ``driver.threshold`` (histogram) -- distribution of the ``td``
+      values far accesses were judged against;
+    * ``driver.evictions`` / ``driver.evicted_blocks`` /
+      ``driver.writeback_blocks`` (counters) and
+      ``driver.eviction_blocks`` (histogram of blocks per eviction);
+    * ``driver.counter_halvings.counts`` /
+      ``driver.counter_halvings.roundtrips`` (counters);
+    * ``driver.fault_retries`` / ``driver.degraded_migrations``
+      (counters) -- injected-fault outcomes;
+    * ``driver.prefetch_expansions`` / ``driver.prefetched_blocks``
+      (counters) and ``driver.prefetch_width`` (histogram).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        r = registry
+        self._migrate = r.counter("driver.decisions.migrate")
+        self._remote = r.counter("driver.decisions.remote")
+        self._threshold = r.histogram("driver.threshold")
+        self._evictions = r.counter("driver.evictions")
+        self._evicted_blocks = r.counter("driver.evicted_blocks")
+        self._writeback_blocks = r.counter("driver.writeback_blocks")
+        self._eviction_blocks = r.histogram("driver.eviction_blocks")
+        self._halvings_counts = r.counter("driver.counter_halvings.counts")
+        self._halvings_rt = r.counter("driver.counter_halvings.roundtrips")
+        self._fault_retries = r.counter("driver.fault_retries")
+        self._degraded = r.counter("driver.degraded_migrations")
+        self._pf_events = r.counter("driver.prefetch_expansions")
+        self._pf_blocks = r.counter("driver.prefetched_blocks")
+        self._pf_width = r.histogram("driver.prefetch_width")
+
+    def write(self, event: Event) -> None:
+        if type(event) is MigrationDecision:
+            (self._migrate if event.migrated else self._remote).inc()
+            self._threshold.observe(event.threshold)
+        elif type(event) is Eviction:
+            self._evictions.inc()
+            self._evicted_blocks.inc(event.blocks)
+            self._writeback_blocks.inc(event.dirty_blocks)
+            self._eviction_blocks.observe(event.blocks)
+        elif type(event) is PrefetchExpand:
+            self._pf_events.inc()
+            self._pf_blocks.inc(event.blocks)
+            self._pf_width.observe(event.blocks)
+        elif type(event) is CounterHalving:
+            (self._halvings_counts if event.field == "counts"
+             else self._halvings_rt).inc()
+        elif type(event) is FaultRetry:
+            self._fault_retries.inc(event.failures)
+            if event.degraded:
+                self._degraded.inc()

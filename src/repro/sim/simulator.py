@@ -20,6 +20,7 @@ from ..gpu.engine import GpuExecutionEngine
 from ..gpu.timing import TimingModel
 from ..interconnect.pcie import PcieModel
 from ..memory.allocator import VirtualAddressSpace
+from ..obs.events import RunMeta
 from ..stats.collector import StatsCollector
 from ..uvm.driver import UvmDriver
 from ..workloads.base import Workload
@@ -33,13 +34,20 @@ class Simulator:
         self.config = (config or SimulationConfig()).validate()
 
     def run(self, workload: Workload,
-            oversubscription: float | None = None) -> RunResult:
+            oversubscription: float | None = None,
+            obs=None) -> RunResult:
         """Simulate ``workload`` to completion.
 
         When ``oversubscription`` is given, the device capacity is derived
         from the workload footprint (the paper's methodology: free space is
         throttled, working sets are not scaled).  Otherwise the configured
         ``memory.device_capacity`` is used as-is.
+
+        ``obs`` optionally wires a :class:`repro.obs.Observability`
+        handle through the driver and engine: structured events flow to
+        its sinks, rollups to its metrics registry, span timings to its
+        profiler.  ``None`` (the default) is the zero-overhead path and
+        produces bit-identical results to any instrumented run.
         """
         rng = np.random.default_rng(self.config.seed)
         vas = VirtualAddressSpace()
@@ -53,7 +61,19 @@ class Simulator:
                                                 oversubscription)
             config = config.with_device_capacity(cap)
 
-        driver = UvmDriver(vas, config)
+        driver = UvmDriver(vas, config, obs=obs)
+        if obs is not None and obs.bus.enabled:
+            # Self-describing log header: lets `repro inspect` map
+            # per-block events back to managed allocations.
+            obs.bus.emit(RunMeta(
+                workload=workload.name,
+                policy=config.policy.policy.value,
+                seed=config.seed,
+                total_blocks=vas.total_blocks,
+                capacity_blocks=driver.device.capacity_blocks,
+                allocations=tuple(
+                    (a.name, a.first_block, a.first_block + a.num_blocks)
+                    for a in vas.allocations)))
         pcie = PcieModel(config.interconnect, config.gpu)
         timing = TimingModel(config, pcie)
         collector = None
@@ -65,7 +85,7 @@ class Simulator:
                 trace=config.collect_access_trace,
                 timeline=config.collect_timeline,
             )
-        engine = GpuExecutionEngine(driver, timing, collector)
+        engine = GpuExecutionEngine(driver, timing, collector, obs=obs)
         total = engine.run(workload)
 
         return RunResult(

@@ -57,7 +57,17 @@ class TimelineSample:
 
 
 class StatsCollector:
-    """Optional heavyweight instrumentation toggled by the config."""
+    """Optional heavyweight instrumentation toggled by the config.
+
+    A collector **accumulates** across every run it observes: feeding a
+    second engine run into the same instance sums its page histograms,
+    extends its trace and timeline, and merges per-kernel stats by
+    kernel name (``launches`` keeps growing).  That is the right
+    behaviour for a multi-kernel workload within one run, but reusing
+    one collector across repeated ``Simulator``/engine runs silently
+    aggregates them -- call :meth:`reset` between runs when per-run
+    stats are wanted.
+    """
 
     def __init__(self, vas: VirtualAddressSpace,
                  histogram: bool = False, trace: bool = False,
@@ -73,6 +83,22 @@ class StatsCollector:
         self.trace: list[TraceRecord] = []
         self.timeline: list[TimelineSample] = []
         self.kernels: dict[str, KernelStats] = {}
+
+    def reset(self) -> None:
+        """Clear all accumulated state so the collector can be reused.
+
+        Zeroes the page histograms in place and empties the trace,
+        timeline, and per-kernel aggregates.  The enabled/disabled
+        switches and the bound address space are untouched, so the
+        collector observes its next run exactly as a fresh instance
+        would.
+        """
+        if self.histogram_enabled:
+            self.page_reads[:] = 0
+            self.page_writes[:] = 0
+        self.trace.clear()
+        self.timeline.clear()
+        self.kernels.clear()
 
     def on_wave(self, kernel: str, iteration: int, cycle: float,
                 pages: np.ndarray, is_write: np.ndarray,

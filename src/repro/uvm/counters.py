@@ -13,14 +13,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.events import CounterHalving
+
 
 class AccessCounterFile:
-    """Vectorized per-basic-block access and round-trip counters."""
+    """Vectorized per-basic-block access and round-trip counters.
+
+    ``bus`` optionally connects the file to the observability event bus:
+    every global halving then emits a
+    :class:`~repro.obs.events.CounterHalving` event (halvings are rare
+    and change the relative hotness resolution, so they are worth
+    tracing when debugging threshold behaviour).
+    """
 
     def __init__(self, total_blocks: int, counter_bits: int = 27,
-                 roundtrip_bits: int = 5) -> None:
+                 roundtrip_bits: int = 5, bus=None) -> None:
         if total_blocks <= 0:
             raise ValueError("need at least one basic block")
+        self.bus = bus
         if counter_bits + roundtrip_bits != 32:
             raise ValueError("counter register must total 32 bits")
         self.counter_max = np.uint64((1 << counter_bits) - 1)
@@ -70,6 +80,10 @@ class AccessCounterFile:
         while self._counts[blocks].max(initial=np.uint64(0)) >= self.counter_max:
             self._counts >>= np.uint64(1)
             self.count_halvings += 1
+            if self.bus is not None and self.bus.enabled:
+                self.bus.emit(CounterHalving(wave=self.bus.wave,
+                                             field="counts",
+                                             halvings=self.count_halvings))
 
     def add_roundtrip(self, blocks: np.ndarray) -> None:
         """Record an eviction round trip for each block in ``blocks``."""
@@ -78,6 +92,10 @@ class AccessCounterFile:
         while self._roundtrips[blocks].max(initial=np.uint64(0)) > self.roundtrip_max:
             self._roundtrips >>= np.uint64(1)
             self.roundtrip_halvings += 1
+            if self.bus is not None and self.bus.enabled:
+                self.bus.emit(CounterHalving(
+                    wave=self.bus.wave, field="roundtrips",
+                    halvings=self.roundtrip_halvings))
 
     def add_remote_accesses(self, blocks: np.ndarray,
                             amounts: np.ndarray) -> None:

@@ -30,6 +30,7 @@ from ..memory import layout
 from ..memory.allocator import VirtualAddressSpace
 from ..memory.device import DeviceMemory
 from ..memory.host import HostMemory
+from ..obs.events import Eviction, FaultRetry, MigrationDecision, PrefetchExpand
 from .counters import AccessCounterFile
 from .eviction import ChunkDirectory, select_victims
 from .faults import FaultInjector
@@ -108,11 +109,20 @@ class DriverCounters:
 class UvmDriver:
     """Shared UVM mechanics parameterized by a migrate-vs-remote policy."""
 
-    def __init__(self, vas: VirtualAddressSpace, config: SimulationConfig) -> None:
+    def __init__(self, vas: VirtualAddressSpace, config: SimulationConfig,
+                 obs=None) -> None:
         if not vas.allocations:
             raise ValueError("cannot build a driver over an empty VA space")
         self.config = config
         self.vas = vas
+        #: Optional :class:`repro.obs.Observability` handle.  ``None``
+        #: (the default) is the zero-overhead path: instrumented sites
+        #: guard on the derived ``_bus``/``_prof`` attributes and never
+        #: construct an event.  Emission is side-effect-free on driver
+        #: state, so instrumented runs are bit-identical to bare ones.
+        self.obs = obs
+        self._bus = obs.bus if obs is not None else None
+        self._prof = obs.profiler if obs is not None else None
         total_blocks = vas.total_blocks
         self.residency = ResidencyMap(total_blocks)
         self.host = HostMemory(total_blocks)
@@ -121,6 +131,7 @@ class UvmDriver:
             total_blocks,
             counter_bits=config.policy.counter_bits,
             roundtrip_bits=config.policy.roundtrip_bits,
+            bus=self._bus,
         )
         self.directory = ChunkDirectory(vas.chunks, total_blocks)
         self.trees: list[PrefetchTree] = [
@@ -191,6 +202,9 @@ class UvmDriver:
         self._heat_sum = None
         self._dirty_cache = None
         self._lru_order = None
+        if self._bus is not None:
+            # Wave context for every event emitted below this frame.
+            self._bus.wave = self.stats.waves
 
         # Group the wave's accesses per basic block: sort once, then
         # segment-reduce, which beats np.unique + two weighted bincounts
@@ -274,7 +288,16 @@ class UvmDriver:
         # blocks below); surviving retries charge backoff to the wave.
         if (self.injector is not None and self.injector.enabled
                 and migrate.any()):
-            self._inject_migration_faults(k, c0, td, migrate, out)
+            self._inject_migration_faults(nrb, k, c0, td, migrate, out)
+
+        bus = self._bus
+        if bus is not None and bus.enabled:
+            wave = bus.wave
+            for b, t, c, kk, m in zip(nrb.tolist(), td.tolist(), c0.tolist(),
+                                      k.tolist(), migrate.tolist()):
+                bus.emit(MigrationDecision(wave=wave, block=b, threshold=t,
+                                           counter=c, accesses=kk,
+                                           migrated=m))
 
         # Accesses served remotely before a (possible) migration trigger.
         remote_before = np.clip(td - 1 - c0, 0, k - 1)
@@ -298,10 +321,17 @@ class UvmDriver:
         if mig.size:
             drain = (self._drain_migrations_batched if self.batched_migrations
                      else self._drain_migrations_scalar)
-            drain(mig, k[migrate], kw[migrate], remote[migrate], pinned, out)
+            if self._prof is not None:
+                with self._prof.span("migrate_drain"):
+                    drain(mig, k[migrate], kw[migrate], remote[migrate],
+                          pinned, out)
+            else:
+                drain(mig, k[migrate], kw[migrate], remote[migrate], pinned,
+                      out)
 
-    def _inject_migration_faults(self, k: np.ndarray, c0: np.ndarray,
-                                 td: np.ndarray, migrate: np.ndarray,
+    def _inject_migration_faults(self, nrb: np.ndarray, k: np.ndarray,
+                                 c0: np.ndarray, td: np.ndarray,
+                                 migrate: np.ndarray,
                                  out: WaveOutcome) -> None:
         """Draw fault outcomes for every would-be migration, in order.
 
@@ -311,6 +341,8 @@ class UvmDriver:
         """
         fcfg = self.config.faults
         injector = self.injector
+        bus = self._bus
+        bus_on = bus is not None and bus.enabled
         for i in np.flatnonzero(migrate).tolist():
             failures, ok = injector.migration_attempt()
             if failures:
@@ -322,6 +354,9 @@ class UvmDriver:
                 # the migration stay on the remote zero-copy path.
                 would_remote = int(min(max(td[i] - 1 - c0[i], 0), k[i] - 1))
                 out.degraded_accesses += int(k[i]) - would_remote
+            if bus_on and (failures or not ok):
+                bus.emit(FaultRetry(wave=bus.wave, block=int(nrb[i]),
+                                    failures=failures, degraded=not ok))
 
     def _drain_migrations_scalar(self, mig: np.ndarray, mig_k: np.ndarray,
                                  mig_kw: np.ndarray, mig_remote: np.ndarray,
@@ -372,6 +407,10 @@ class UvmDriver:
         prefetch = (PrefetchTree.on_fault
                     if type(self.prefetcher) is TreePrefetchStrategy
                     else self.prefetcher.on_fault)
+        if self._prof is not None:
+            prefetch = self._prof.wrap("prefetch_tree", prefetch)
+        bus = self._bus
+        bus_on = bus is not None and bus.enabled
         counters = self.counters
         pending: dict[int, list[int]] = {}
         pending_set: set[int] = set()
@@ -449,6 +488,10 @@ class UvmDriver:
                 pending_set.update(pf_list)
                 free -= len(pf_list)
                 prefetched += len(pf_list)
+                if bus_on:
+                    bus.emit(PrefetchExpand(wave=bus.wave, chunk=cid,
+                                            fault_block=b,
+                                            blocks=len(pf_list)))
             else:
                 # The prefetch batch needs an eviction: commit pending
                 # state (including this fault block), then make room
@@ -459,6 +502,10 @@ class UvmDriver:
                 if self._make_room(int(pf_blocks.size), pinned, never, out):
                     self._install(pf_blocks, cid)
                     out.prefetched_blocks += int(pf_blocks.size)
+                    if bus_on:
+                        bus.emit(PrefetchExpand(wave=bus.wave, chunk=cid,
+                                                fault_block=b,
+                                                blocks=int(pf_blocks.size)))
                     if counters.has_roundtrips:
                         thrashy = pf_blocks[
                             counters.roundtrips[pf_blocks] > 0]
@@ -492,7 +539,10 @@ class UvmDriver:
             return False
         leaf = block - int(self.directory.first_block[cid])
         tree = self.trees[cid]
-        pf_leaves = self.prefetcher.on_fault(tree, leaf)
+        on_fault = self.prefetcher.on_fault
+        if self._prof is not None:
+            on_fault = self._prof.wrap("prefetch_tree", on_fault)
+        pf_leaves = on_fault(tree, leaf)
 
         self._install(np.array([block], dtype=np.int64), cid)
         out.fault_migrations += 1
@@ -506,6 +556,10 @@ class UvmDriver:
             if self._make_room(int(pf_blocks.size), pinned, never, out):
                 self._install(pf_blocks, cid)
                 out.prefetched_blocks += int(pf_blocks.size)
+                if self._bus is not None and self._bus.enabled:
+                    self._bus.emit(PrefetchExpand(
+                        wave=self._bus.wave, chunk=cid, fault_block=block,
+                        blocks=int(pf_blocks.size)))
                 thrashy = pf_blocks[self.counters.roundtrips[pf_blocks] > 0]
                 out.thrash_migrations += int(thrashy.size)
                 self.stats.thrashed_block_ids.update(thrashy.tolist())
@@ -541,6 +595,12 @@ class UvmDriver:
 
     def _rebuild_tree(self, cid: int) -> None:
         """Resynchronize a chunk's tree with the residency map."""
+        if self._prof is not None:
+            with self._prof.span("prefetch_tree"):
+                return self._rebuild_tree_impl(cid)
+        self._rebuild_tree_impl(cid)
+
+    def _rebuild_tree_impl(self, cid: int) -> None:
         tree = self.trees[cid]
         tree.clear()
         chunk_blocks = self.directory.blocks_of_chunk(cid)
@@ -557,6 +617,16 @@ class UvmDriver:
         """
         if self.device.can_fit(n_blocks):
             return True
+        if self._prof is not None:
+            with self._prof.span("eviction"):
+                return self._make_room_under_pressure(n_blocks, pinned,
+                                                      never, out)
+        return self._make_room_under_pressure(n_blocks, pinned, never, out)
+
+    def _make_room_under_pressure(self, n_blocks: int, pinned: np.ndarray,
+                                  never: np.ndarray,
+                                  out: WaveOutcome) -> bool:
+        """The eviction path of :meth:`_make_room` (capacity exceeded)."""
         self.device.note_pressure()
         needed = n_blocks - self.device.free_blocks
         heat = dirty = order = None
@@ -615,6 +685,11 @@ class UvmDriver:
         out.evicted_chunks += int(victims.size == rblocks.size)
         out.evicted_blocks += int(victims.size)
         out.writeback_blocks += n_dirty
+        if self._bus is not None and self._bus.enabled:
+            self._bus.emit(Eviction(wave=self._bus.wave, chunk=cid,
+                                    blocks=int(victims.size),
+                                    dirty_blocks=n_dirty,
+                                    whole_chunk=False))
 
     def _evict_chunk(self, cid: int, out: WaveOutcome) -> None:
         """Evict every resident block of chunk ``cid``."""
@@ -635,6 +710,11 @@ class UvmDriver:
         out.evicted_chunks += 1
         out.evicted_blocks += int(rblocks.size)
         out.writeback_blocks += n_dirty
+        if self._bus is not None and self._bus.enabled:
+            self._bus.emit(Eviction(wave=self._bus.wave, chunk=cid,
+                                    blocks=int(rblocks.size),
+                                    dirty_blocks=n_dirty,
+                                    whole_chunk=True))
 
     # ------------------------------------------------------------------
     # introspection

@@ -1,0 +1,86 @@
+"""CLI tests for the observability flags and ``repro inspect``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["run", "ra", "--events", "e.jsonl", "--metrics", "m.json",
+             "--profile"])
+        assert args.events == "e.jsonl"
+        assert args.metrics == "m.json"
+        assert args.profile is True
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["run", "ra"])
+        assert args.events is None and args.metrics is None
+        assert args.profile is False
+
+    def test_replay_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "replay", "-i", "t.npz", "--profile"])
+        assert args.profile is True
+
+    def test_grid_commands_accept_metrics(self):
+        args = build_parser().parse_args(
+            ["sweep", "ra", "--metrics", "g.json"])
+        assert args.metrics == "g.json"
+        args = build_parser().parse_args(
+            ["figure", "table1", "--metrics", "g.json"])
+        assert args.metrics == "g.json"
+
+    def test_inspect_parses(self):
+        args = build_parser().parse_args(["inspect", "e.jsonl", "--top", "3"])
+        assert args.events == "e.jsonl" and args.top == 3
+
+
+class TestExecution:
+    def test_run_writes_events_and_metrics(self, tmp_path, capsys):
+        ev = tmp_path / "e.jsonl"
+        mx = tmp_path / "m.json"
+        assert main(["run", "ra", "--scale", "tiny", "--oversub", "1.5",
+                     "--events", str(ev), "--metrics", str(mx),
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "-- profile:" in out
+
+        rows = [json.loads(line) for line in ev.read_text().splitlines()]
+        assert rows[0]["event"] == "run_meta"
+        assert any(r["event"] == "migration_decision" for r in rows)
+
+        metrics = json.loads(mx.read_text())
+        assert "driver.decisions.migrate" in metrics
+        assert "engine.wave_cycles" in metrics
+
+    def test_inspect_round_trips_events(self, tmp_path, capsys):
+        ev = tmp_path / "e.jsonl"
+        assert main(["run", "ra", "--scale", "tiny", "--oversub", "1.5",
+                     "--events", str(ev)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(ev), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "== event log: ra / adaptive" in out
+        assert "migration_decision" in out
+
+    def test_inspect_missing_file_is_cli_error(self):
+        with pytest.raises(SystemExit, match="repro inspect"):
+            main(["inspect", "/nonexistent/events.jsonl"])
+
+    def test_run_without_flags_prints_no_obs_output(self, tmp_path, capsys):
+        assert main(["run", "ra", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "-- profile:" not in out
+        assert "[metrics" not in out and "[events" not in out
+
+    def test_sweep_writes_grid_metrics(self, tmp_path, capsys):
+        path = tmp_path / "g.json"
+        assert main(["sweep", "ra", "--scale", "tiny", "--levels", "1.25",
+                     "--policies", "adaptive", "--metrics", str(path)]) == 0
+        metrics = json.loads(path.read_text())
+        assert metrics["grid.cells_completed"]["value"] == 1
+        assert metrics["grid.cell_ms"]["count"] == 1

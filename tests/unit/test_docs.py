@@ -1,0 +1,71 @@
+"""Documentation hygiene: links resolve, CLI examples parse.
+
+Wraps ``tools/check_docs.py`` (the CI ``docs`` job) so a stale flag or
+broken link fails the test suite too, and pins that the checker itself
+actually detects problems.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestRepositoryDocs:
+    def test_all_docs_clean(self):
+        errors = check_docs.run_checks(REPO_ROOT)
+        assert errors == []
+
+    def test_checks_cover_the_doc_set(self):
+        names = {p.name for p in check_docs.doc_files(REPO_ROOT)}
+        assert {"README.md", "EXPERIMENTS.md", "architecture.md",
+                "observability.md"} <= names
+
+
+class TestCheckerDetects:
+    def test_broken_link_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](nope/absent.md)\n")
+        errors = check_docs.check_links(doc, tmp_path)
+        assert len(errors) == 1 and "absent.md" in errors[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[a](https://example.com) [b](#anchor)\n")
+        assert check_docs.check_links(doc, tmp_path) == []
+
+    def test_bad_invocation_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```bash\nrepro run ra --no-such-flag\n```\n")
+        errors = check_docs.check_cli_invocations(doc, tmp_path,
+                                                  build_parser)
+        assert len(errors) == 1 and "--no-such-flag" in errors[0]
+
+    def test_good_invocation_passes(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```bash\n"
+                       "PYTHONPATH=src python -m repro run ra --oversub 1.5"
+                       "  # comment\n"
+                       "repro inspect ev.jsonl --top 3\n"
+                       "```\n")
+        assert check_docs.check_cli_invocations(doc, tmp_path,
+                                                build_parser) == []
+
+    def test_non_repro_lines_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```bash\npip install -e .\nmake lint\n```\n")
+        assert check_docs.check_cli_invocations(doc, tmp_path,
+                                                build_parser) == []
+
+    def test_missing_example_script_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```bash\npython examples/ghost.py\n```\n")
+        errors = check_docs.check_example_scripts(doc, tmp_path)
+        assert len(errors) == 1 and "ghost.py" in errors[0]

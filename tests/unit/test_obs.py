@@ -1,0 +1,260 @@
+"""Unit tests for the observability layer (events, bus, sinks, metrics,
+profiler)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    CounterHalving,
+    EventBus,
+    Eviction,
+    FaultRetry,
+    JsonlSink,
+    MetricsRegistry,
+    MetricsSink,
+    MigrationDecision,
+    NullSink,
+    Observability,
+    PhaseProfiler,
+    PrefetchExpand,
+    RingBufferSink,
+    RunMeta,
+)
+from repro.obs.events import EVENT_TYPES, from_dict
+
+
+def _decision(wave=0, block=1, threshold=8, counter=3, accesses=2,
+              migrated=True):
+    return MigrationDecision(wave=wave, block=block, threshold=threshold,
+                             counter=counter, accesses=accesses,
+                             migrated=migrated)
+
+
+class TestEvents:
+    def test_as_dict_tags_kind(self):
+        d = _decision().as_dict()
+        assert d["event"] == "migration_decision"
+        assert d["block"] == 1 and d["migrated"] is True
+
+    def test_round_trip_every_type(self):
+        samples = [
+            RunMeta(workload="ra", policy="adaptive", seed=0,
+                    total_blocks=32, capacity_blocks=16,
+                    allocations=(("a", 0, 16), ("b", 16, 32))),
+            _decision(),
+            Eviction(wave=3, chunk=2, blocks=32, dirty_blocks=4,
+                     whole_chunk=True),
+            CounterHalving(wave=5, field="counts", halvings=1),
+            FaultRetry(wave=6, block=9, failures=2, degraded=False),
+            PrefetchExpand(wave=7, chunk=1, fault_block=33, blocks=8),
+        ]
+        assert {type(s) for s in samples} == set(EVENT_TYPES.values())
+        for event in samples:
+            # through JSON, as the JsonlSink writes it
+            row = json.loads(json.dumps(event.as_dict()))
+            assert from_dict(row) == event
+
+    def test_from_dict_ignores_unknown_fields(self):
+        row = _decision().as_dict()
+        row["extra_field_from_the_future"] = 42
+        assert from_dict(row) == _decision()
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            from_dict({"event": "nosuch"})
+
+    def test_events_are_immutable(self):
+        with pytest.raises(AttributeError):
+            _decision().block = 7
+
+
+class TestEventBus:
+    def test_disabled_until_first_attach(self):
+        bus = EventBus()
+        assert not bus.enabled
+        bus.attach(NullSink())
+        assert bus.enabled
+
+    def test_emit_fans_out_in_order(self):
+        bus = EventBus()
+        seen = []
+        for tag in ("a", "b"):
+            class S(NullSink):
+                def __init__(self, tag):
+                    self.tag = tag
+
+                def write(self, event):
+                    seen.append(self.tag)
+            bus.attach(S(tag))
+        bus.emit(_decision())
+        assert seen == ["a", "b"]
+
+    def test_close_closes_sinks(self, tmp_path):
+        bus = EventBus()
+        sink = JsonlSink(tmp_path / "e.jsonl")
+        bus.attach(sink)
+        bus.emit(_decision())
+        bus.close()
+        assert json.loads((tmp_path / "e.jsonl").read_text())["block"] == 1
+
+
+class TestSinks:
+    def test_null_sink_discards(self):
+        sink = NullSink()
+        sink.write(_decision())  # no state, no error
+
+    def test_ring_buffer_keeps_newest(self):
+        sink = RingBufferSink(capacity=3)
+        for b in range(5):
+            sink.write(_decision(block=b))
+        assert sink.total_written == 5
+        assert len(sink) == 3
+        assert [e.block for e in sink.events] == [2, 3, 4]
+        sink.clear()
+        assert len(sink) == 0 and sink.total_written == 5
+
+    def test_jsonl_sink_one_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        events = [_decision(block=b) for b in range(4)]
+        for e in events:
+            sink.write(e)
+        sink.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [from_dict(r) for r in rows] == events
+
+    def test_metrics_sink_rollup(self):
+        reg = MetricsRegistry()
+        sink = MetricsSink(reg)
+        sink.write(_decision(threshold=4, migrated=True))
+        sink.write(_decision(threshold=16, migrated=False))
+        sink.write(Eviction(wave=1, chunk=0, blocks=32, dirty_blocks=5,
+                            whole_chunk=True))
+        sink.write(CounterHalving(wave=1, field="counts", halvings=1))
+        sink.write(CounterHalving(wave=2, field="roundtrips", halvings=1))
+        sink.write(FaultRetry(wave=1, block=3, failures=2, degraded=True))
+        sink.write(PrefetchExpand(wave=1, chunk=1, fault_block=40, blocks=8))
+        m = reg.as_dict()
+        assert m["driver.decisions.migrate"]["value"] == 1
+        assert m["driver.decisions.remote"]["value"] == 1
+        assert m["driver.threshold"]["count"] == 2
+        assert m["driver.evictions"]["value"] == 1
+        assert m["driver.evicted_blocks"]["value"] == 32
+        assert m["driver.writeback_blocks"]["value"] == 5
+        assert m["driver.counter_halvings.counts"]["value"] == 1
+        assert m["driver.counter_halvings.roundtrips"]["value"] == 1
+        assert m["driver.fault_retries"]["value"] == 2
+        assert m["driver.degraded_migrations"]["value"] == 1
+        assert m["driver.prefetch_expansions"]["value"] == 1
+        assert m["driver.prefetched_blocks"]["value"] == 8
+
+
+class TestMetrics:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(0.25)
+        assert g.value == 0.25
+
+    def test_histogram_buckets_and_stats(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0, 1, 2, 3, 8, 100):
+            h.observe(v)
+        assert h.count == 6
+        assert h.total == 114
+        assert h.min == 0 and h.max == 100
+        assert h.mean == pytest.approx(19.0)
+        d = h.as_dict()
+        # bucket 0 holds exactly the zeros; upper edges are powers of two
+        assert d["buckets"]["0"] == 1
+        assert sum(d["buckets"].values()) == 6
+
+    def test_histogram_bucket_edges(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1, 2, 3, 4):
+            h.observe(v)
+        # layout: bucket 1 is exactly 1, bucket i >= 2 covers
+        # (2**(i-2), 2**(i-1)] -- so 2 -> bucket 2, {3, 4} -> bucket 3
+        assert h.buckets == {1: 1, 2: 1, 3: 2}
+        assert h.bucket_label(3) == "(2, 4]"
+
+    def test_series_decimation_bounds_memory(self):
+        s = MetricsRegistry().series("s", capacity=8)
+        for i in range(1000):
+            s.append(float(i), float(i * 2))
+        assert len(s.points) <= 8
+        xs = [p[0] for p in s.points]
+        assert xs == sorted(xs)
+        # decimated points are a subset of the appended ones
+        assert all(y == 2 * x for x, y in s.points)
+
+    def test_registry_get_or_create_and_type_conflict(self):
+        reg = MetricsRegistry()
+        assert reg.counter("n") is reg.counter("n")
+        with pytest.raises(TypeError):
+            reg.histogram("n")
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.histogram("b").observe(7)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        data = json.loads(path.read_text())
+        assert data["a"]["value"] == 3
+        assert data["b"]["count"] == 1
+
+
+class TestProfiler:
+    def test_span_accumulates(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            with prof.span("phase"):
+                math.sqrt(2.0)
+        report = prof.report()
+        assert len(report) == 1
+        row = report[0]
+        assert row["phase"] == "phase"
+        assert row["calls"] == 3 and row["seconds"] >= 0
+
+    def test_wrap_preserves_return_value(self):
+        prof = PhaseProfiler()
+        timed = prof.wrap("f", lambda a, b: a + b)
+        assert timed(2, 3) == 5
+        assert prof.phases["f"][1] == 1
+
+    def test_render_lists_heaviest_first(self):
+        prof = PhaseProfiler()
+        prof.add("light", 0.001)
+        prof.add("heavy", 0.5, calls=10)
+        text = prof.render()
+        assert text.index("heavy") < text.index("light")
+        assert prof.as_dict()["heavy"]["calls"] == 10
+
+
+class TestObservabilityFacade:
+    def test_create_wires_everything(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        obs = Observability.create(events_path=path, metrics=True,
+                                   profile=True)
+        assert obs.enabled and obs.bus.enabled
+        assert obs.metrics is not None and obs.profiler is not None
+        obs.bus.emit(_decision())
+        obs.close()
+        assert path.exists()
+        assert obs.metrics.as_dict()["driver.decisions.migrate"]["value"] == 1
+
+    def test_default_is_disabled(self):
+        obs = Observability()
+        assert not obs.enabled and not obs.bus.enabled
+        assert obs.metrics is None and obs.profiler is None

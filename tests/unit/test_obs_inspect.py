@@ -1,0 +1,112 @@
+"""Unit tests for event-log post-mortem analysis (``repro inspect``)."""
+
+import json
+
+from repro.obs import JsonlSink, MigrationDecision, RunMeta
+from repro.obs.events import Eviction, FaultRetry
+from repro.obs.inspect import (
+    AllocationTrend,
+    iter_events,
+    render_summary,
+    summarize,
+)
+
+META = RunMeta(workload="ra", policy="adaptive", seed=0, total_blocks=64,
+               capacity_blocks=32,
+               allocations=(("ra.a", 0, 32), ("ra.b", 32, 64)))
+
+
+def _decisions():
+    """A small synthetic run: block 5 thrashes, block 40 migrates once."""
+    events = [META]
+    for wave in range(4):
+        events.append(MigrationDecision(wave=wave, block=5, threshold=wave + 1,
+                                        counter=9, accesses=3, migrated=True))
+    events.append(MigrationDecision(wave=1, block=40, threshold=2, counter=1,
+                                    accesses=1, migrated=True))
+    events.append(MigrationDecision(wave=2, block=41, threshold=4, counter=1,
+                                    accesses=1, migrated=False))
+    events.append(Eviction(wave=2, chunk=0, blocks=32, dirty_blocks=6,
+                           whole_chunk=True))
+    events.append(FaultRetry(wave=3, block=5, failures=2, degraded=True))
+    return events
+
+
+class TestSummarize:
+    def test_counts_and_totals(self):
+        s = summarize(_decisions())
+        assert s.meta == META
+        assert s.event_counts["migration_decision"] == 6
+        assert s.evicted_blocks == 32
+        assert s.writeback_blocks == 6
+        assert s.fault_retries == 2
+        assert s.degraded_migrations == 1
+
+    def test_top_thrashing_attributes_allocation(self):
+        s = summarize(_decisions())
+        top = s.top_thrashing_blocks()
+        assert len(top) == 1  # only block 5 migrated more than once
+        assert top[0]["block"] == 5
+        assert top[0]["allocation"] == "ra.a"
+        assert top[0]["migrations"] == 4
+        assert top[0]["round_trips"] == 3
+        assert top[0]["last_threshold"] == 4
+
+    def test_allocation_of_unknown_block(self):
+        s = summarize(_decisions())
+        assert s.allocation_of(40) == "ra.b"
+        assert s.allocation_of(999) == "?"
+
+    def test_from_jsonl_path(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = JsonlSink(path)
+        for ev in _decisions():
+            sink.write(ev)
+        sink.close()
+        s = summarize(path)
+        assert s.event_counts == summarize(_decisions()).event_counts
+
+    def test_iter_events_skips_blank_and_torn_lines(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        rows = [json.dumps(ev.as_dict()) for ev in _decisions()]
+        text = rows[0] + "\n\n" + rows[1] + "\n" + rows[2][: len(rows[2]) // 2]
+        path.write_text(text)
+        events = list(iter_events(path))
+        assert len(events) == 2  # torn tail and blank line dropped
+
+
+class TestAllocationTrend:
+    def test_trajectory_is_mean_per_bucket(self):
+        t = AllocationTrend("a", 0, 32)
+        for wave, td in ((0, 2), (0, 4), (1, 8)):
+            t.observe(MigrationDecision(wave=wave, block=1, threshold=td,
+                                        counter=0, accesses=1, migrated=True))
+        traj = t.trajectory(buckets=2)
+        assert traj == [3.0, 8.0]
+
+    def test_sparkline_rises_with_threshold(self):
+        t = AllocationTrend("a", 0, 32)
+        for wave in range(8):
+            t.observe(MigrationDecision(wave=wave, block=1,
+                                        threshold=2 ** wave, counter=0,
+                                        accesses=1, migrated=False))
+        spark = t.sparkline()
+        assert spark[0] == "▁" and spark[-1] == "█"
+
+    def test_empty_trend(self):
+        t = AllocationTrend("a", 0, 32)
+        assert t.trajectory() == [] and t.sparkline() == ""
+
+
+class TestRender:
+    def test_render_mentions_key_sections(self):
+        text = render_summary(summarize(_decisions()))
+        assert "ra / adaptive" in text
+        assert "top thrashing blocks" in text
+        assert "ra.a" in text and "ra.b" in text
+        assert "threshold trajectory" in text
+
+    def test_render_without_meta(self):
+        events = [ev for ev in _decisions() if not isinstance(ev, RunMeta)]
+        text = render_summary(summarize(events))
+        assert "no run_meta header" in text

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Documentation checker: every link resolves, every CLI example parses.
+
+Run from the repository root (CI runs it as the ``docs`` job)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Checks, over README.md, EXPERIMENTS.md, DESIGN.md and ``docs/*.md``:
+
+* **Links** -- every relative markdown link target exists on disk
+  (external ``http(s)``/``mailto`` links and pure anchors are skipped);
+* **CLI invocations** -- every ``repro ...`` / ``python -m repro ...``
+  line inside a fenced code block parses against the real
+  ``repro.cli.build_parser()``, so documented flags can never drift
+  from the implementation;
+* **Example scripts** -- every documented ``python <path>.py`` line
+  points at a file that exists.
+
+Exit status is the number of problems found (0 = docs are clean).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import shlex
+import sys
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+#: Markdown inline link: [text](target)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced code block with optional language tag.
+FENCE_RE = re.compile(r"```(\w*)[ \t]*\n(.*?)```", re.S)
+
+DOC_FILES = ("README.md", "EXPERIMENTS.md", "DESIGN.md", "docs/README.md")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The markdown files under contract, existing ones only."""
+    files = [root / name for name in DOC_FILES]
+    files += sorted((root / "docs").glob("*.md"))
+    seen: dict[Path, None] = {}
+    for f in files:
+        if f.exists():
+            seen.setdefault(f.resolve())
+    return list(seen)
+
+
+def check_links(path: Path, root: Path) -> list[str]:
+    """Relative link targets of ``path`` that do not exist on disk."""
+    errors = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> "
+                          f"{target}")
+    return errors
+
+
+def _cli_lines(text: str) -> list[str]:
+    """``repro``/``python -m repro`` command lines from fenced blocks."""
+    lines = []
+    for lang, body in FENCE_RE.findall(text):
+        if lang not in ("", "bash", "sh", "console", "shell"):
+            continue
+        for raw in body.splitlines():
+            line = raw.strip()
+            if line.startswith("$ "):
+                line = line[2:]
+            if line:
+                lines.append(line)
+    return lines
+
+
+def _parse_command(line: str) -> list[str] | None:
+    """Extract a repro argv from one shell line, or None if not one."""
+    line = line.split(" #")[0].strip()
+    if not line:
+        return None
+    try:
+        tokens = shlex.split(line)
+    except ValueError:
+        return None
+    # Strip environment-assignment prefixes (PYTHONPATH=src repro ...).
+    while tokens and re.match(r"^[A-Za-z_][A-Za-z0-9_]*=", tokens[0]):
+        tokens = tokens[1:]
+    if not tokens:
+        return None
+    if tokens[0] == "repro":
+        return tokens[1:]
+    if (len(tokens) >= 3 and tokens[0].startswith("python")
+            and tokens[1] == "-m" and tokens[2] == "repro"):
+        return tokens[3:]
+    return None
+
+
+def check_cli_invocations(path: Path, root: Path, build_parser) -> list[str]:
+    """Documented repro commands that the real parser rejects."""
+    errors = []
+    for line in _cli_lines(path.read_text(encoding="utf-8")):
+        argv = _parse_command(line)
+        if argv is None:
+            continue
+        parser = build_parser()
+        try:
+            # parse only -- never executes the command
+            with redirect_stdout(io.StringIO()), \
+                    redirect_stderr(io.StringIO()):
+                parser.parse_args(argv)
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                errors.append(f"{path.relative_to(root)}: documented "
+                              f"command does not parse: {line!r}")
+    return errors
+
+
+def check_example_scripts(path: Path, root: Path) -> list[str]:
+    """Documented ``python <script>.py`` lines whose script is missing."""
+    errors = []
+    for line in _cli_lines(path.read_text(encoding="utf-8")):
+        tokens = line.split(" #")[0].split()
+        if (len(tokens) >= 2 and tokens[0].startswith("python")
+                and tokens[1].endswith(".py")
+                and not tokens[1].startswith("-")):
+            if not (root / tokens[1]).exists():
+                errors.append(f"{path.relative_to(root)}: missing example "
+                              f"script -> {tokens[1]}")
+    return errors
+
+
+def run_checks(root: Path) -> list[str]:
+    """All problems across the documentation set."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.cli import build_parser
+    errors: list[str] = []
+    for path in doc_files(root):
+        errors += check_links(path, root)
+        errors += check_cli_invocations(path, root, build_parser)
+        errors += check_example_scripts(path, root)
+    return errors
+
+
+def main(argv=None) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parents[1]
+    errors = run_checks(root)
+    for err in errors:
+        print(f"check_docs: {err}", file=sys.stderr)
+    n = len(doc_files(root))
+    if not errors:
+        print(f"check_docs: {n} documents clean")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
