@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke figures examples check-docs clean
+.PHONY: install test bench bench-smoke bench-perf check-regression \
+	figures examples check-docs clean
 
 install:
 	pip install -e .
@@ -22,6 +23,14 @@ bench-logged:
 # Fast smoke pass of every figure and ablation at tiny scale.
 bench-smoke:
 	REPRO_SCALE=tiny $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Measure the tracked perf trajectory (appends to BENCH_history.jsonl).
+bench-perf:
+	$(PYTHON) benchmarks/bench_perf.py
+
+# Gate on the bench history: non-zero exit when perf regressed.
+check-regression:
+	$(PYTHON) tools/check_regression.py
 
 # Print every paper figure to stdout (and benchmarks/results/).
 figures:

@@ -4,12 +4,16 @@ Measures (1) the driver's throughput in simulated accesses per second
 on a fixed workload set, (2) wall time of the ``bench_sweep`` grid
 serially and with ``--jobs`` worker processes, and (3) the speedup of
 the batched migration drain over the in-tree scalar reference path.
-Results are written to ``BENCH_driver.json`` at the repository root so
-every later change has a perf trajectory to compare against::
+Results are written to ``BENCH_driver.json`` at the repository root
+(latest snapshot) and appended to ``BENCH_history.jsonl`` (one report
+per line, tagged with the git commit) so every later change has a perf
+trajectory to compare against — ``tools/check_regression.py`` gates on
+that history::
 
     PYTHONPATH=src python benchmarks/bench_perf.py            # full
     PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_perf.py --jobs 0   # all cores
+    PYTHONPATH=src python benchmarks/bench_perf.py --no-history
 
 Wall-clock numbers are min-of-``--repeats`` to shave scheduler noise;
 CPU time (``time.process_time``) is reported alongside because shared
@@ -32,10 +36,12 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.analysis import GridCell, default_jobs, oversubscription_sweep, run_grid  # noqa: E402
 from repro.config import MigrationPolicy  # noqa: E402
+from repro.obs.store import git_info  # noqa: E402
 import repro.uvm.driver as uvm_driver  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_driver.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 
 #: The bench_sweep grid: the acceptance workload for driver speedups.
 SWEEP_LEVELS = (0.8, 1.0, 1.25, 1.5)
@@ -137,9 +143,10 @@ def measure_batched_vs_scalar(scale: str, repeats: int) -> dict:
 
 def run(scale: str, repeats: int, jobs: int) -> dict:
     report = {
-        "schema_version": 1,
+        "schema_version": 2,
         "generated": datetime.datetime.now(datetime.timezone.utc)
                      .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git": git_info(cwd=str(REPO_ROOT)),
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -168,6 +175,11 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default=str(DEFAULT_OUT),
                     help="output JSON path (default: BENCH_driver.json "
                          "at the repo root)")
+    ap.add_argument("--history", default=str(DEFAULT_HISTORY),
+                    help="append the report to this JSONL history "
+                         "(default: BENCH_history.jsonl at the repo root)")
+    ap.add_argument("--no-history", action="store_true",
+                    help="do not append to the history file")
     args = ap.parse_args(argv)
     scale = args.scale or ("tiny" if args.quick else "small")
     repeats = args.repeats or (1 if args.quick else 5)
@@ -175,6 +187,10 @@ def main(argv=None) -> int:
     report = run(scale, repeats, args.jobs)
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
+    if not args.no_history:
+        history = pathlib.Path(args.history)
+        with history.open("a") as fh:
+            fh.write(json.dumps(report, sort_keys=True) + "\n")
 
     tp = report["throughput"]
     sg = report["sweep_grid"]
@@ -191,7 +207,10 @@ def main(argv=None) -> int:
     print(f"batched drain vs scalar reference: "
           f"{bs['drain_speedup']:.2f}x (cpu {bs['batched_cpu_seconds']:.3f}s"
           f" vs {bs['scalar_cpu_seconds']:.3f}s)")
-    print(f"[saved to {out}]")
+    saved = f"[saved to {out}"
+    if not args.no_history:
+        saved += f"; appended to {args.history}"
+    print(saved + "]")
     return 0
 
 

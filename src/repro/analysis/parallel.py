@@ -95,6 +95,14 @@ class GridOptions:
     #: completion/retry/rebuild counters into it.  Never pickled to
     #: workers; purely an orchestrator-side rollup.
     metrics: object | None = None
+    #: Optional :class:`repro.obs.store.RunStore`: every completed cell
+    #: is archived as a ``grid-cell`` run under a shared sweep id, so
+    #: whole figures/sweeps become ``repro diff``-able families.  Like
+    #: ``metrics``, orchestrator-side only (never pickled to workers).
+    archive: object | None = None
+    #: Sweep id grouping this grid's archived cells; ``None`` derives a
+    #: content-addressed id from the cell set.
+    sweep_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -129,6 +137,38 @@ class _GridMetrics:
     @staticmethod
     def of(opts: "GridOptions") -> "_GridMetrics | None":
         return _GridMetrics(opts.metrics) if opts.metrics is not None else None
+
+
+class _Archiver:
+    """Archives each completed cell into a run store, orchestrator-side.
+
+    Provenance (git SHA, host fingerprint) is resolved once per grid,
+    not once per cell; the sweep id defaults to a content-addressed
+    hash of the whole cell set, so re-running the same grid lands in
+    the same archive slots.
+    """
+
+    def __init__(self, store, cells, sweep_id: str | None) -> None:
+        from ..obs.store import derive_sweep_id, git_info, host_info
+        self.store = store
+        self.sweep_id = sweep_id or derive_sweep_id(cells)
+        self._git = git_info()
+        self._host = host_info()
+
+    @staticmethod
+    def of(opts: "GridOptions", cells) -> "_Archiver | None":
+        return (_Archiver(opts.archive, cells, opts.sweep_id)
+                if opts.archive is not None else None)
+
+    def archive(self, cell: GridCell, result: RunResult) -> str:
+        from .checkpoint import _encode
+        from ..obs.store import RunManifest
+        manifest = RunManifest.create(
+            kind="grid-cell", workload=cell.workload,
+            policy=cell.policy.value, scale=cell.scale, seed=cell.seed,
+            oversubscription=cell.oversubscription, config=_encode(cell),
+            git=self._git, host=self._host, sweep_id=self.sweep_id)
+        return self.store.archive(manifest, result)
 
 
 class GridExecutionError(RuntimeError):
@@ -192,6 +232,7 @@ def run_grid(cells, max_workers: int | None = None,
     results: list[RunResult | None] = [None] * len(cells)
     pending = list(range(len(cells)))
     journal = None
+    archiver = _Archiver.of(opts, cells)
     if opts.checkpoint:
         from .checkpoint import CheckpointJournal, cell_key
         journal = CheckpointJournal(opts.checkpoint)
@@ -209,15 +250,17 @@ def run_grid(cells, max_workers: int | None = None,
                     results[i] = hit
                     if gm is not None:
                         gm.from_checkpoint.inc()
+                    if archiver is not None:
+                        archiver.archive(cell, hit)
                 else:
                     fresh.append(i)
             pending = fresh
     try:
         if max_workers is None or max_workers <= 1 or len(pending) <= 1:
-            _run_serial(cells, pending, results, opts, journal)
+            _run_serial(cells, pending, results, opts, journal, archiver)
         else:
             _run_parallel(cells, pending, results, opts, journal,
-                          max_workers)
+                          max_workers, archiver)
     finally:
         if journal is not None:
             journal.close()
@@ -228,12 +271,15 @@ def run_grid(cells, max_workers: int | None = None,
 # execution strategies
 # ---------------------------------------------------------------------------
 
-def _store(results, journal, cell, index: int, result: RunResult) -> None:
-    """Commit one finished cell: result slot first, then the journal."""
+def _store(results, journal, cell, index: int, result: RunResult,
+           archiver: "_Archiver | None" = None) -> None:
+    """Commit one finished cell: result slot, journal, then archive."""
     results[index] = result
     if journal is not None and not (cell.collect_histogram
                                     or cell.collect_trace):
         journal.append(cell, result)
+    if archiver is not None:
+        archiver.archive(cell, result)
 
 
 def _backoff(opts: GridOptions, attempt: int) -> None:
@@ -244,7 +290,8 @@ def _backoff(opts: GridOptions, attempt: int) -> None:
                    _MAX_BACKOFF_S))
 
 
-def _run_serial(cells, pending, results, opts, journal) -> None:
+def _run_serial(cells, pending, results, opts, journal,
+                archiver=None) -> None:
     """In-process execution with per-cell retry and journaling."""
     gm = _GridMetrics.of(opts)
     for i in pending:
@@ -264,7 +311,7 @@ def _run_serial(cells, pending, results, opts, journal) -> None:
         if gm is not None:
             gm.cell_ms.observe((time.perf_counter() - start) * 1e3)
             gm.completed.inc()
-        _store(results, journal, cells[i], i, result)
+        _store(results, journal, cells[i], i, result, archiver)
 
 
 def _terminate_workers(pool: ProcessPoolExecutor) -> None:
@@ -278,7 +325,7 @@ def _terminate_workers(pool: ProcessPoolExecutor) -> None:
 
 
 def _run_parallel(cells, pending, results, opts, journal,
-                  max_workers: int) -> None:
+                  max_workers: int, archiver=None) -> None:
     """Pool execution with lost-cell re-submission and hang detection.
 
     Each ``while`` iteration is one pool incarnation: submit everything
@@ -302,7 +349,8 @@ def _run_parallel(cells, pending, results, opts, journal,
             # semaphores; restricted environments (CI sandboxes, seccomp
             # jails) may offer neither.  The grid is still correct
             # serially.
-            return _run_serial(cells, remaining, results, opts, journal)
+            return _run_serial(cells, remaining, results, opts, journal,
+                               archiver)
 
         completed_here = 0
         pool_broke = False
@@ -341,7 +389,7 @@ def _run_parallel(cells, pending, results, opts, journal,
                         gm.cell_ms.observe(
                             (time.perf_counter() - submitted_at[i]) * 1e3)
                         gm.completed.inc()
-                    _store(results, journal, cells[i], i, result)
+                    _store(results, journal, cells[i], i, result, archiver)
                     completed_here += 1
         pool.shutdown(wait=not stalled, cancel_futures=True)
 
@@ -373,7 +421,8 @@ def _run_parallel(cells, pending, results, opts, journal,
                 # The pool breaks without making progress: stop burning
                 # incarnations and finish the grid in-process.
                 remaining = [i for i in remaining if results[i] is None]
-                return _run_serial(cells, remaining, results, opts, journal)
+                return _run_serial(cells, remaining, results, opts, journal,
+                                   archiver)
             worst = max(worst, pool_rebuilds)
         for i, exc in failed:
             if not isinstance(exc, BrokenProcessPool):

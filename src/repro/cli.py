@@ -22,15 +22,25 @@ Commands
 ``inspect``
     Summarize a structured event log recorded with ``--events``:
     top-thrashing blocks and the threshold trajectory per allocation.
+``runs``
+    List the archived runs under the run store.
+``diff``
+    Compare two archived runs: per-metric deltas, config changes, and
+    (when both event logs were archived) round-trip quantiles,
+    thrashing-set differences and ``t_d`` trajectories.
 ``list``
     Show available workloads, scales, policies and figures.
 
 The simulation commands (``run``, ``trace replay``) accept the
-observability flags ``--events out.jsonl`` (structured event log),
-``--metrics out.json`` (counter/histogram rollup), and ``--profile``
-(per-phase wall-clock breakdown); the grid commands (``figure``,
-``sweep``) accept ``--metrics`` for per-cell timing and retry rollups.
-All of them are off by default and cost nothing when off.
+observability flags ``--events out.jsonl[.gz]`` (structured event
+log), ``--metrics out.json`` (counter/histogram rollup), ``--profile``
+(per-phase wall-clock breakdown), ``--timeline out.trace.json``
+(Chrome-trace export for Perfetto), and ``--archive`` (persist the run
+under ``.repro/runs/<run_id>/`` for later ``repro diff``); the grid
+commands (``figure``, ``sweep``) accept ``--metrics`` for per-cell
+timing and retry rollups plus ``--archive`` to file every grid cell
+under a shared sweep id.  All of them are off by default and cost
+nothing when off.
 """
 
 from __future__ import annotations
@@ -92,12 +102,17 @@ def _grid_options(args):
     if getattr(args, "metrics", None):
         from .obs import MetricsRegistry
         registry = MetricsRegistry()
+    store = None
+    if getattr(args, "archive", False):
+        from .obs.store import RunStore
+        store = RunStore(getattr(args, "runs", None))
     try:
         return GridOptions(retries=args.retries,
                            cell_timeout=args.cell_timeout,
                            checkpoint=args.checkpoint,
                            resume=args.resume,
-                           metrics=registry)
+                           metrics=registry,
+                           archive=store)
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}") from None
 
@@ -107,22 +122,64 @@ def _finish_grid_metrics(grid, args) -> None:
     if grid.metrics is not None:
         grid.metrics.write_json(args.metrics)
         print(f"[grid metrics written to {args.metrics}]")
+    if grid.archive is not None:
+        print(f"[grid cells archived under {grid.archive.root}; list with "
+              f"`repro runs`, compare with `repro diff`]")
 
 
 def _make_obs(args):
-    """Build an Observability handle from --events/--metrics/--profile.
+    """Build an Observability handle from the simulation obs flags.
 
-    Returns ``None`` when all three flags are off, which keeps the
-    simulation on the zero-overhead uninstrumented path.
+    Returns ``None`` when every flag (``--events``, ``--metrics``,
+    ``--profile``, ``--timeline``, ``--archive``) is off, which keeps
+    the simulation on the zero-overhead uninstrumented path.
     """
     events = getattr(args, "events", None)
     metrics = getattr(args, "metrics", None)
     profile = getattr(args, "profile", False)
-    if not (events or metrics or profile):
+    timeline = getattr(args, "timeline", None)
+    archive = getattr(args, "archive", False)
+    if not (events or metrics or profile or timeline or archive):
         return None
     from .obs import Observability
     return Observability.create(events_path=events, metrics=bool(metrics),
-                                profile=profile)
+                                profile=profile, timeline=bool(timeline))
+
+
+def _begin_archive(args, cfg, workload_name: str, obs):
+    """Open a run-archive slot and stream the event log into it.
+
+    Returns the open :class:`~repro.obs.store.RunWriter` (or ``None``
+    when ``--archive`` is off).  The manifest -- and with it the
+    content-addressed run id -- is derived *before* the simulation
+    runs, so the archived event log can be written in place rather
+    than copied afterwards.
+    """
+    if not getattr(args, "archive", False):
+        return None
+    from .analysis.checkpoint import encode_config
+    from .obs import JsonlSink
+    from .obs.store import RunManifest, RunStore, git_info
+    store = RunStore(getattr(args, "runs", None))
+    manifest = RunManifest.create(
+        kind="run", workload=workload_name,
+        policy=cfg.policy.policy.value,
+        scale=getattr(args, "scale", "-"), seed=cfg.seed,
+        oversubscription=getattr(args, "oversub", None),
+        config=encode_config(cfg), git=git_info())
+    writer = store.open_run(manifest)
+    obs.bus.attach(JsonlSink(writer.events_path))
+    return writer
+
+
+def _finish_archive(writer, result, obs) -> None:
+    """Commit an archived run after its sinks have been flushed."""
+    if writer is None:
+        return
+    metrics = obs.metrics.as_dict() if obs.metrics is not None else None
+    run_id = writer.commit(result, metrics=metrics)
+    print(f"[archived as {run_id}; list with `repro runs`, compare with "
+          f"`repro diff {run_id} <other-run>`]")
 
 
 def _finish_obs(obs, args) -> None:
@@ -136,6 +193,10 @@ def _finish_obs(obs, args) -> None:
     if getattr(args, "events", None):
         print(f"[events written to {args.events}; summarize with "
               f"`repro inspect {args.events}`]")
+    if getattr(args, "timeline", None):
+        obs.timeline.write(args.timeline)
+        print(f"[timeline written to {args.timeline}; open it in Perfetto "
+              f"(ui.perfetto.dev) or chrome://tracing]")
     if getattr(args, "profile", False):
         print()
         print(obs.profiler.render())
@@ -161,9 +222,11 @@ def cmd_run(args) -> int:
     cfg = _build_config(args)
     wl = _make_workload(args.workload, args.scale)
     obs = _make_obs(args)
+    archive = _begin_archive(args, cfg, wl.name, obs)
     result = Simulator(cfg).run(wl, oversubscription=args.oversub, obs=obs)
     _print_summary(result)
     _finish_obs(obs, args)
+    _finish_archive(archive, result, obs)
     if args.histogram:
         rows = [[s["name"], s["pages"], s["reads"], s["writes"],
                  round(s["accesses_per_page"], 1),
@@ -291,10 +354,12 @@ def cmd_trace(args) -> int:
     # replay
     cfg = _build_config(args)
     obs = _make_obs(args)
-    result = Simulator(cfg).run(TraceWorkload(args.input),
-                                oversubscription=args.oversub, obs=obs)
+    wl = TraceWorkload(args.input)
+    archive = _begin_archive(args, cfg, wl.name, obs)
+    result = Simulator(cfg).run(wl, oversubscription=args.oversub, obs=obs)
     _print_summary(result)
     _finish_obs(obs, args)
+    _finish_archive(archive, result, obs)
     return 0
 
 
@@ -305,6 +370,51 @@ def cmd_inspect(args) -> int:
     except OSError as exc:
         raise SystemExit(f"repro inspect: {exc}") from None
     print(render_summary(summary, top=args.top))
+    return 0
+
+
+def cmd_runs(args) -> int:
+    from .obs.store import RunStore
+    store = RunStore(args.runs)
+    manifests = store.list()
+    if not manifests:
+        print(f"no archived runs under {store.root} "
+              f"(create some with `repro run <workload> --archive`)")
+        return 0
+    import datetime
+    rows = []
+    for m in manifests:
+        when = datetime.datetime.fromtimestamp(
+            m.created).strftime("%Y-%m-%d %H:%M")
+        sha = (m.git or {}).get("sha") or "-"
+        rows.append([m.run_id, m.kind, m.workload, m.policy,
+                     m.oversubscription if m.oversubscription is not None
+                     else "-",
+                     m.seed, (m.sweep_id or "-")[:8], sha[:8], when])
+    print(format_table(
+        ["run id", "kind", "workload", "policy", "oversub", "seed",
+         "sweep", "commit", "archived"],
+        rows, title=f"== archived runs ({store.root}) =="))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    import json as _json
+    from .obs.compare import diff_runs, render_diff
+    from .obs.store import RunStore
+    store = RunStore(args.runs)
+    try:
+        run_a = store.load(args.run_a)
+        run_b = store.load(args.run_b)
+    except (KeyError, OSError, ValueError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        raise SystemExit(f"repro diff: {msg}") from None
+    diff = diff_runs(run_a, run_b, tolerance=args.tolerance / 100.0,
+                     top=args.top)
+    if args.json:
+        print(_json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff))
     return 0
 
 
@@ -374,7 +484,8 @@ def _add_obs_args(p) -> None:
     p.add_argument("--events", default=None, metavar="PATH",
                    help="write structured driver events (migration "
                         "decisions, evictions, counter halvings) to this "
-                        "JSONL file; summarize with `repro inspect`")
+                        "JSONL file (gzipped when the path ends in .gz); "
+                        "summarize with `repro inspect`")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write the metric rollup (decision counters, "
                         "threshold histogram, PCIe queue depth series) "
@@ -383,6 +494,21 @@ def _add_obs_args(p) -> None:
                    help="print a per-phase wall-clock time breakdown "
                         "(wave loop, migrate drain, eviction, prefetch "
                         "tree) after the run")
+    p.add_argument("--timeline", default=None, metavar="PATH",
+                   help="export phase spans, driver events and wave "
+                        "boundaries as a Chrome-trace JSON file "
+                        "(open in Perfetto or chrome://tracing)")
+    p.add_argument("--archive", action="store_true",
+                   help="persist the run (manifest, result, metrics, "
+                        "compressed event log) under the run store for "
+                        "`repro diff`")
+    _add_runs_arg(p)
+
+
+def _add_runs_arg(p) -> None:
+    p.add_argument("--runs", default=None, metavar="DIR",
+                   help="run-store root (default: $REPRO_RUNS_DIR or "
+                        ".repro/runs)")
 
 
 def _add_grid_args(p) -> None:
@@ -401,6 +527,10 @@ def _add_grid_args(p) -> None:
     p.add_argument("--resume", action="store_true",
                    help="serve cells already in the --checkpoint journal "
                         "instead of re-simulating them")
+    p.add_argument("--archive", action="store_true",
+                   help="archive every grid cell's result under the run "
+                        "store, grouped by a shared sweep id")
+    _add_runs_arg(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -476,10 +606,28 @@ def build_parser() -> argparse.ArgumentParser:
     pp.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("inspect", help="summarize a structured event log")
-    p.add_argument("events", help="JSONL event log written by --events")
+    p.add_argument("events", help="JSONL event log written by --events "
+                                  "(plain or .jsonl.gz)")
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="thrashing blocks to show (default 10)")
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("runs", help="list archived runs")
+    _add_runs_arg(p)
+    p.set_defaults(func=cmd_runs)
+
+    p = sub.add_parser("diff", help="compare two archived runs")
+    p.add_argument("run_a", help="archived run id (unique prefix ok)")
+    p.add_argument("run_b", help="archived run id (unique prefix ok)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full delta report as JSON")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="thrashing blocks compared per run (default 10)")
+    p.add_argument("--tolerance", type=float, default=1.0, metavar="PCT",
+                   help="relative change (percent) below which a metric "
+                        "delta is reported as noise (default 1.0)")
+    _add_runs_arg(p)
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser("list", help="show available names")
     p.set_defaults(func=cmd_list)

@@ -44,7 +44,20 @@ from .events import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
 from .profiling import PhaseProfiler
-from .sinks import JsonlSink, MetricsSink, NullSink, RingBufferSink, Sink
+from .sinks import (
+    JsonlSink,
+    MetricsSink,
+    NullSink,
+    RingBufferSink,
+    Sink,
+    open_text,
+)
+from .timeline import (
+    TimelineProfiler,
+    TimelineRecorder,
+    TimelineSink,
+    validate_trace,
+)
 
 
 class Observability:
@@ -61,6 +74,9 @@ class Observability:
         self.bus = EventBus()
         self.metrics = metrics
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.timeline.TimelineRecorder` (the
+        #: ``--timeline`` Chrome-trace export); assigned by ``create``.
+        self.timeline = None
 
     @property
     def enabled(self) -> bool:
@@ -71,13 +87,17 @@ class Observability:
     @classmethod
     def create(cls, events_path=None, metrics: bool = False,
                profile: bool = False,
-               ring_capacity: int | None = None) -> "Observability":
+               ring_capacity: int | None = None,
+               timeline: bool = False) -> "Observability":
         """Assemble a handle from the CLI-style knobs.
 
         ``events_path`` attaches a :class:`JsonlSink`; ``metrics``
         creates a registry and routes events into it through a
         :class:`MetricsSink`; ``profile`` attaches a profiler;
-        ``ring_capacity`` attaches an in-memory ring buffer.
+        ``ring_capacity`` attaches an in-memory ring buffer;
+        ``timeline`` attaches a :class:`TimelineRecorder` (Chrome-trace
+        export) fed by both the profiler's spans and a bus sink, and
+        implies a profiler (a :class:`TimelineProfiler`).
         """
         obs = cls()
         if metrics:
@@ -87,7 +107,11 @@ class Observability:
             obs.bus.attach(JsonlSink(events_path))
         if ring_capacity is not None:
             obs.bus.attach(RingBufferSink(ring_capacity))
-        if profile:
+        if timeline:
+            obs.timeline = TimelineRecorder()
+            obs.profiler = TimelineProfiler(obs.timeline)
+            obs.bus.attach(TimelineSink(obs.timeline))
+        elif profile:
             obs.profiler = PhaseProfiler()
         return obs
 
@@ -118,5 +142,10 @@ __all__ = [
     "RunMeta",
     "Series",
     "Sink",
+    "TimelineProfiler",
+    "TimelineRecorder",
+    "TimelineSink",
     "from_dict",
+    "open_text",
+    "validate_trace",
 ]

@@ -32,6 +32,8 @@ from .events import (
     RunMeta,
     from_dict,
 )
+from .metrics import Histogram
+from .sinks import open_text
 
 #: Sparkline glyphs, lowest to highest.
 _SPARK = "▁▂▃▄▅▆▇█"
@@ -40,10 +42,11 @@ _SPARK = "▁▂▃▄▅▆▇█"
 def iter_events(path):
     """Yield events from a JSONL log, skipping blank and torn lines.
 
-    A log cut short by a killed run may end mid-line; such torn tails
-    are ignored, matching the checkpoint journal's reader semantics.
+    ``*.jsonl.gz`` logs are read through gzip transparently.  A log cut
+    short by a killed run may end mid-line; such torn tails are
+    ignored, matching the checkpoint journal's reader semantics.
     """
-    with open(path, "r", encoding="utf-8") as fh:
+    with open_text(path, "r") as fh:
         for line in fh:
             line = line.strip()
             if not line:
@@ -152,6 +155,21 @@ class LogSummary:
         rows.sort(key=lambda r: (-r["migrations"], r["block"]))
         return rows[:n]
 
+    def roundtrip_histogram(self) -> Histogram:
+        """Round trips per thrashing block as a quantile-able histogram.
+
+        One sample per block that migrated more than once, valued at
+        its eviction->re-migration round trips (migrations - 1) -- the
+        distribution behind Figure 7, summarized by
+        :meth:`~repro.obs.metrics.Histogram.quantile` instead of raw
+        bucket dumps.
+        """
+        hist = Histogram()
+        for migrations in self.migrations_per_block.values():
+            if migrations > 1:
+                hist.observe(migrations - 1)
+        return hist
+
 
 def summarize(path_or_events) -> LogSummary:
     """Build a :class:`LogSummary` from a JSONL path or event iterable."""
@@ -234,6 +252,11 @@ def render_summary(summary: LogSummary, top: int = 10) -> str:
     thrash = summary.top_thrashing_blocks(top)
     lines.append("")
     if thrash:
+        rt = summary.roundtrip_histogram()
+        lines.append(f"round trips per thrashing block: "
+                     f"p50 {rt.quantile(0.5):g}  p90 {rt.quantile(0.9):g}  "
+                     f"max {rt.max:g}  ({rt.count} blocks)")
+        lines.append("")
         lines.append(f"-- top thrashing blocks (of "
                      f"{sum(1 for m in summary.migrations_per_block.values() if m > 1)} "
                      f"with round trips)")

@@ -97,6 +97,39 @@ class Histogram:
             return "1"
         return f"({2 ** (idx - 2):g}, {2 ** (idx - 1):g}]"
 
+    @staticmethod
+    def bucket_bounds(idx: int) -> tuple[float, float]:
+        """``(lo, hi]`` value range of bucket ``idx`` (degenerate for 0/1)."""
+        if idx == 0:
+            return 0.0, 0.0
+        if idx == 1:
+            return 1.0, 1.0
+        return float(2 ** (idx - 2)), float(2 ** (idx - 1))
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile from the power-of-two buckets.
+
+        Exact for the degenerate buckets (0 and 1); linearly
+        interpolated within wider buckets and clamped to the exact
+        observed ``[min, max]``, so tails never over-shoot.  Returns
+        ``None`` when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for idx in sorted(self.buckets):
+            n = self.buckets[idx]
+            cumulative += n
+            if cumulative >= target:
+                lo, hi = self.bucket_bounds(idx)
+                frac = 1.0 - (cumulative - target) / n
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative always reaches count
+
     def as_dict(self) -> dict:
         return {
             "type": "histogram",
@@ -105,6 +138,9 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
             "buckets": {self.bucket_label(i): n
                         for i, n in sorted(self.buckets.items())},
         }

@@ -19,6 +19,7 @@ bit-identity property test:
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import deque
 
@@ -81,18 +82,32 @@ class RingBufferSink(Sink):
         self._buf.clear()
 
 
+def open_text(path, mode: str):
+    """Open a text log, transparently gzipped for ``*.gz`` paths.
+
+    Shared by :class:`JsonlSink` (writing) and
+    :mod:`repro.obs.inspect` (reading), so a ``--events out.jsonl.gz``
+    log round-trips through ``repro inspect`` unchanged.
+    """
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 class JsonlSink(Sink):
     """Appends one compact JSON object per event to ``path``.
 
     The file is opened eagerly (fail fast on an unwritable path) and
-    buffered; ``close()`` flushes.  Rows are ``Event.as_dict()`` with
-    an ``"event"`` kind tag, parse back via
-    :func:`repro.obs.events.from_dict`.
+    buffered; ``close()`` flushes.  A path ending in ``.gz`` (the
+    ``.jsonl.gz`` convention) is written gzip-compressed -- event logs
+    for large sweeps are highly redundant JSON and compress ~20x.
+    Rows are ``Event.as_dict()`` with an ``"event"`` kind tag, parse
+    back via :func:`repro.obs.events.from_dict`.
     """
 
     def __init__(self, path) -> None:
         self.path = path
-        self._fh = open(path, "w", encoding="utf-8")
+        self._fh = open_text(path, "w")
 
     def write(self, event: Event) -> None:
         json.dump(event.as_dict(), self._fh, separators=(",", ":"))

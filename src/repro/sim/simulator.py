@@ -86,7 +86,14 @@ class Simulator:
                 timeline=config.collect_timeline,
             )
         engine = GpuExecutionEngine(driver, timing, collector, obs=obs)
-        total = engine.run(workload)
+        if obs is not None and obs.profiler is not None:
+            # Root span bracketing the whole execution: gives the
+            # profile report an end-to-end total and the timeline
+            # export a top-level lane enclosing every wave.
+            with obs.profiler.span("run"):
+                total = engine.run(workload)
+        else:
+            total = engine.run(workload)
 
         return RunResult(
             workload=workload.name,

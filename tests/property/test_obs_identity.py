@@ -63,6 +63,45 @@ def test_simulator_identical_with_jsonl_and_metrics(tmp_path):
     assert (tmp_path / "e.jsonl").stat().st_size > 0
 
 
+def test_simulator_identical_with_timeline(tmp_path):
+    """The Chrome-trace recorder is read-only over simulation state."""
+    from repro.obs import validate_trace
+
+    obs = Observability.create(timeline=True, metrics=True)
+    plain = _run("bfs", "adaptive")
+    instrumented = _run("bfs", "adaptive", obs=obs)
+    obs.close()
+    assert _result_fields(plain) == _result_fields(instrumented)
+    trace = obs.timeline.trace()
+    assert validate_trace(trace) == []
+    assert obs.timeline.waves > 0
+    assert trace["otherData"]["workload"] == "bfs"
+
+
+def test_simulator_identical_when_archived(tmp_path):
+    """Streaming the event log into an archive slot changes nothing."""
+    from repro.analysis.checkpoint import encode_config
+    from repro.obs import JsonlSink
+    from repro.obs.store import RunManifest, RunStore
+
+    cfg = SimulationConfig().with_policy(MigrationPolicy.ADAPTIVE)
+    store = RunStore(tmp_path)
+    writer = store.open_run(RunManifest.create(
+        kind="run", workload="sssp", policy="adaptive", scale="tiny",
+        seed=cfg.seed, oversubscription=1.5, config=encode_config(cfg)))
+    obs = Observability.create(metrics=True)
+    obs.bus.attach(JsonlSink(writer.events_path))
+
+    plain = _run("sssp", "adaptive")
+    instrumented = _run("sssp", "adaptive", obs=obs)
+    obs.close()
+    run_id = writer.commit(instrumented, metrics=obs.metrics.as_dict())
+    assert _result_fields(plain) == _result_fields(instrumented)
+    # and the archived copy round-trips to the same result fields
+    assert _result_fields(store.load(run_id).result) == \
+        _result_fields(plain)
+
+
 @st.composite
 def traffic(draw):
     seed = draw(st.integers(0, 2**16))

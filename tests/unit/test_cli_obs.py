@@ -38,6 +38,33 @@ class TestParser:
         args = build_parser().parse_args(["inspect", "e.jsonl", "--top", "3"])
         assert args.events == "e.jsonl" and args.top == 3
 
+    def test_run_accepts_archive_and_timeline(self):
+        args = build_parser().parse_args(
+            ["run", "ra", "--archive", "--timeline", "t.json",
+             "--runs", "/tmp/r"])
+        assert args.archive is True
+        assert args.timeline == "t.json"
+        assert args.runs == "/tmp/r"
+        args = build_parser().parse_args(["run", "ra"])
+        assert args.archive is False and args.timeline is None
+
+    def test_grid_commands_accept_archive(self):
+        args = build_parser().parse_args(["sweep", "ra", "--archive"])
+        assert args.archive is True
+        args = build_parser().parse_args(
+            ["figure", "table1", "--archive", "--runs", "/tmp/r"])
+        assert args.archive is True and args.runs == "/tmp/r"
+
+    def test_runs_and_diff_parse(self):
+        args = build_parser().parse_args(["runs"])
+        assert args.runs is None
+        args = build_parser().parse_args(
+            ["diff", "abc", "def", "--json", "--top", "5",
+             "--tolerance", "2.5"])
+        assert args.run_a == "abc" and args.run_b == "def"
+        assert args.json is True and args.top == 5
+        assert args.tolerance == 2.5
+
 
 class TestExecution:
     def test_run_writes_events_and_metrics(self, tmp_path, capsys):
@@ -84,3 +111,96 @@ class TestExecution:
         metrics = json.loads(path.read_text())
         assert metrics["grid.cells_completed"]["value"] == 1
         assert metrics["grid.cell_ms"]["count"] == 1
+
+    def test_gzip_events_inspect_round_trip(self, tmp_path, capsys):
+        import gzip
+
+        ev = tmp_path / "e.jsonl.gz"
+        assert main(["run", "ra", "--scale", "tiny", "--oversub", "1.5",
+                     "--events", str(ev)]) == 0
+        capsys.readouterr()
+        # the sink actually compressed (magic bytes), and inspect reads it
+        assert ev.read_bytes()[:2] == b"\x1f\x8b"
+        with gzip.open(ev, "rt") as fh:
+            assert json.loads(fh.readline())["event"] == "run_meta"
+        assert main(["inspect", str(ev)]) == 0
+        out = capsys.readouterr().out
+        assert "== event log: ra / adaptive" in out
+        assert "round trips per thrashing block" in out
+
+
+def _archived_id(out: str) -> str:
+    import re
+
+    match = re.search(r"\[archived as ([0-9a-f]+)", out)
+    assert match, f"no archive line in output: {out!r}"
+    return match.group(1)
+
+
+class TestArchiveWorkflow:
+    def test_archive_diff_round_trip(self, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        ids = []
+        for seed in ("0", "1"):
+            assert main(["run", "ra", "--scale", "tiny", "--oversub", "1.5",
+                         "--seed", seed, "--archive", "--runs", runs]) == 0
+            ids.append(_archived_id(capsys.readouterr().out))
+        assert len(set(ids)) == 2
+
+        assert main(["runs", "--runs", runs]) == 0
+        listing = capsys.readouterr().out
+        assert all(i in listing for i in ids)
+
+        assert main(["diff", ids[0], ids[1], "--runs", runs]) == 0
+        out = capsys.readouterr().out
+        assert "== run diff ==" in out
+        assert "migrated_blocks" in out and "evicted_blocks" in out
+        assert "td trajectory per allocation" in out
+
+        assert main(["diff", ids[0][:6], ids[1][:6], "--runs", runs,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config_changes"]["seed"] == {"a": 0, "b": 1}
+        assert payload["events"]["td_trajectories"]
+
+    def test_rerun_lands_in_the_same_slot(self, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        ids = []
+        for _ in range(2):
+            assert main(["run", "ra", "--scale", "tiny", "--oversub", "1.5",
+                         "--archive", "--runs", runs]) == 0
+            ids.append(_archived_id(capsys.readouterr().out))
+        assert ids[0] == ids[1]
+
+    def test_diff_unknown_id_is_cli_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="repro diff"):
+            main(["diff", "aaaa", "bbbb", "--runs",
+                  str(tmp_path / "runs")])
+
+    def test_timeline_export_is_valid(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        trace_path = tmp_path / "t.trace.json"
+        assert main(["run", "ra", "--scale", "tiny", "--oversub", "1.5",
+                     "--timeline", str(trace_path)]) == 0
+        assert "[timeline" in capsys.readouterr().out
+        trace = json.loads(trace_path.read_text())
+        assert validate_trace(trace) == []
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "run" in names and "wave" in names
+        assert any(n and n.startswith("wave ") for n in names)
+
+    def test_sweep_archives_grid_cells(self, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        assert main(["sweep", "ra", "--scale", "tiny",
+                     "--levels", "1.25,1.5", "--policies", "adaptive",
+                     "--archive", "--runs", runs]) == 0
+        assert "cells archived" in capsys.readouterr().out
+
+        from repro.obs.store import RunStore
+
+        manifests = RunStore(runs).list()
+        assert len(manifests) == 2
+        assert {m.kind for m in manifests} == {"grid-cell"}
+        assert len({m.sweep_id for m in manifests}) == 1
+        assert {m.oversubscription for m in manifests} == {1.25, 1.5}

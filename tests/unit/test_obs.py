@@ -188,6 +188,40 @@ class TestMetrics:
         assert h.buckets == {1: 1, 2: 1, 3: 2}
         assert h.bucket_label(3) == "(2, 4]"
 
+    def test_quantile_degenerate_buckets_are_exact(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0, 0, 0, 1):
+            h.observe(v)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 1.0
+
+    def test_quantile_interpolates_and_clamps(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (3, 3, 3, 3):
+            h.observe(v)  # all in bucket (2, 4]
+        # interpolation happens inside the bucket but never escapes the
+        # exact observed [min, max] envelope
+        for q in (0.0, 0.25, 0.5, 1.0):
+            assert h.quantile(q) == 3.0
+
+    def test_quantile_orders_buckets(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1,) * 90 + (100,) * 10:
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) > 1.0
+        assert h.quantile(0.99) <= 100.0
+
+    def test_quantile_edge_cases(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) is None  # empty
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        h.observe(7)
+        assert h.quantile(0.0) == 7.0 and h.quantile(1.0) == 7.0
+        d = h.as_dict()
+        assert d["p50"] == 7.0 and d["p90"] == 7.0 and d["p99"] == 7.0
+
     def test_series_decimation_bounds_memory(self):
         s = MetricsRegistry().series("s", capacity=8)
         for i in range(1000):

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate CI on the bench history: fail when perf regressed.
+
+Reads ``BENCH_history.jsonl`` (written by ``benchmarks/bench_perf.py``)
+and judges the newest report -- or an explicit ``--candidate`` file --
+against the trailing-window median of comparable earlier points (same
+scale, same host fingerprint).  Exit status 0 when every gated metric
+is within tolerance, 1 on regression, 2 on usage errors::
+
+    PYTHONPATH=src python tools/check_regression.py
+    PYTHONPATH=src python tools/check_regression.py --candidate BENCH_driver.json
+    PYTHONPATH=src python tools/check_regression.py --tolerance 0.1 --json
+
+A history too short to form a baseline passes with ``skipped``
+findings, so a fresh machine can seed its own baseline.  The gated
+metric set lives in ``repro.obs.regress.GATED_METRICS``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.regress import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+    check_regression,
+    load_history,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--history", default=str(DEFAULT_HISTORY),
+                    help="bench history JSONL (default: "
+                         "BENCH_history.jsonl at the repo root)")
+    ap.add_argument("--candidate", default=None,
+                    help="judge this bench report JSON instead of the "
+                         "newest history entry")
+    ap.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                    help=f"trailing baseline window "
+                         f"(default {DEFAULT_WINDOW})")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help=f"relative tolerance, e.g. 0.2 = 20%% "
+                         f"(default {DEFAULT_TOLERANCE})")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the report as JSON instead of text")
+    args = ap.parse_args(argv)
+
+    try:
+        history = load_history(args.history)
+    except OSError as exc:
+        print(f"check_regression: cannot read history: {exc}",
+              file=sys.stderr)
+        return 2
+    candidate = None
+    if args.candidate is not None:
+        try:
+            with open(args.candidate, encoding="utf-8") as fh:
+                candidate = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"check_regression: cannot read candidate: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = check_regression(history, candidate=candidate,
+                                  window=args.window,
+                                  tolerance=args.tolerance)
+    except ValueError as exc:
+        print(f"check_regression: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
