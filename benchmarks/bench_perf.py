@@ -1,9 +1,13 @@
 """Tracked performance harness for the simulator's hot path.
 
-Measures (1) the driver's throughput in simulated accesses per second
-on a fixed workload set, (2) wall time of the ``bench_sweep`` grid
-serially and with ``--jobs`` worker processes, and (3) the speedup of
-the batched migration drain over the in-tree scalar reference path.
+Measures (1) the simulator's throughput in simulated accesses per
+second on a fixed workload set, run over a pre-recorded shared trace
+cache (the grid fan-out configuration; live wave generation is timed
+alongside for the ``replay_speedup`` ratio), (2) wall time of the
+``bench_sweep`` grid serially and with ``--jobs`` worker processes,
+(3) the speedup of the batched migration drain over the in-tree scalar
+reference path, and (4) a steady-state resident-wave microbench that
+isolates the driver's all-resident fast path.
 Results are written to ``BENCH_driver.json`` at the repository root
 (latest snapshot) and appended to ``BENCH_history.jsonl`` (one report
 per line, tagged with the git commit) so every later change has a perf
@@ -30,13 +34,25 @@ import os
 import pathlib
 import platform
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro.analysis import GridCell, default_jobs, oversubscription_sweep, run_grid  # noqa: E402
-from repro.config import MigrationPolicy  # noqa: E402
+import numpy as np  # noqa: E402
+
+from repro.analysis import (  # noqa: E402
+    GridCell,
+    GridOptions,
+    default_jobs,
+    oversubscription_sweep,
+    run_grid,
+)
+from repro.config import MigrationPolicy, SimulationConfig  # noqa: E402
+from repro.memory.allocator import VirtualAddressSpace  # noqa: E402
+from repro.memory.layout import MB  # noqa: E402
 from repro.obs.store import git_info  # noqa: E402
+from repro.trace import TraceCache  # noqa: E402
 import repro.uvm.driver as uvm_driver  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -67,11 +83,29 @@ def _timed(fn, repeats: int) -> tuple[float, float, object]:
 
 
 def measure_throughput(scale: str, repeats: int) -> dict:
-    """Simulated accesses/second over the fixed throughput cells."""
+    """Simulated accesses/second over the fixed throughput cells.
+
+    The headline ``accesses_per_second`` runs the grid over a shared
+    trace cache (``GridOptions.trace_cache``): each cell replays its
+    workload's memory-mapped access stream instead of regenerating the
+    waves, exactly as sweep fan-outs do.  Recording happens outside the
+    timed region.  The ``live_*`` numbers keep the regenerate-per-cell
+    semantics for comparison, and ``replay_speedup`` is the ratio.
+    """
     cells = [GridCell(w, MigrationPolicy.ADAPTIVE, level, scale)
              for w, level in THROUGHPUT_CELLS]
-    wall, cpu, results = _timed(lambda: run_grid(cells), repeats)
-    accesses = sum(r.events.n_accesses for r in results)
+    live_wall, live_cpu, live_results = _timed(lambda: run_grid(cells),
+                                               repeats)
+    accesses = sum(r.events.n_accesses for r in live_results)
+    with tempfile.TemporaryDirectory(prefix="bench-trace-cache-") as tmp:
+        cache = TraceCache(tmp)
+        for cell in cells:  # pre-warm: recording is not the timed path
+            cache.get_or_record(cell.workload, cell.scale, cell.seed)
+        opts = GridOptions(trace_cache=tmp)
+        wall, cpu, results = _timed(lambda: run_grid(cells, options=opts),
+                                    repeats)
+    if sum(r.events.n_accesses for r in results) != accesses:
+        raise RuntimeError("trace replay diverged from live generation")
     return {
         "cells": [f"{w}@{level}" for w, level in THROUGHPUT_CELLS],
         "scale": scale,
@@ -79,6 +113,67 @@ def measure_throughput(scale: str, repeats: int) -> dict:
         "wall_seconds": round(wall, 4),
         "cpu_seconds": round(cpu, 4),
         "accesses_per_second": round(accesses / wall, 1),
+        "live_wall_seconds": round(live_wall, 4),
+        "live_cpu_seconds": round(live_cpu, 4),
+        "live_accesses_per_second": round(accesses / live_wall, 1),
+        "replay_speedup": round(live_wall / wall, 3),
+    }
+
+
+def measure_fast_path(repeats: int) -> dict:
+    """Steady-state resident-wave microbench: the fast path's home regime.
+
+    Builds a driver whose capacity covers the whole footprint, warms the
+    working set in via first-touch migration, then times passes of pure
+    all-resident waves -- the steady state the resident fast path short
+    circuits.  ``hit_rate`` is measured over the timed section (1.0 when
+    warm-up fully migrated the working set), and the same section is
+    re-timed with ``resident_fast_path`` off for the speedup ratio.
+    """
+    size_mb, n_waves, wave_pages, passes = 32, 64, 512, 8
+    vas = VirtualAddressSpace()
+    data = vas.malloc_managed("bench.fastpath", size_mb * MB)
+    cfg = SimulationConfig().with_policy(MigrationPolicy.DISABLED)
+    cfg = cfg.with_device_capacity(2 * size_mb * MB)
+    rng = np.random.default_rng(7)
+    waves = []
+    for _ in range(n_waves):
+        pages = np.unique(rng.integers(data.first_page, data.last_page,
+                                       size=wave_pages, dtype=np.int64))
+        is_write = np.zeros(pages.size, dtype=bool)
+        is_write[::4] = True
+        waves.append((pages, is_write))
+    accesses_per_pass = sum(p.size for p, _ in waves)
+
+    driver = uvm_driver.UvmDriver(vas, cfg)
+    for pages, w in waves:  # warm pass: first touch migrates everything
+        driver.process_wave(pages, w)
+
+    def steady() -> None:
+        process = driver.process_wave
+        for _ in range(passes):
+            for pages, w in waves:
+                process(pages, w)
+
+    base_waves = driver.stats.waves
+    base_hits = driver.stats.fast_path_waves
+    wall, cpu, _ = _timed(steady, repeats)
+    timed_waves = driver.stats.waves - base_waves
+    hit_rate = ((driver.stats.fast_path_waves - base_hits) / timed_waves
+                if timed_waves else 0.0)
+    driver.resident_fast_path = False
+    off_wall, _, _ = _timed(steady, repeats)
+    return {
+        "waves_per_pass": n_waves,
+        "passes": passes,
+        "accesses_per_pass": accesses_per_pass,
+        "wall_seconds": round(wall, 4),
+        "cpu_seconds": round(cpu, 4),
+        "steady_state_accesses_per_second":
+            round(accesses_per_pass * passes / wall, 1),
+        "hit_rate": round(hit_rate, 4),
+        "off_wall_seconds": round(off_wall, 4),
+        "fast_path_speedup": round(off_wall / wall, 3),
     }
 
 
@@ -155,6 +250,7 @@ def run(scale: str, repeats: int, jobs: int) -> dict:
         "throughput": measure_throughput(scale, repeats),
         "sweep_grid": measure_sweep(scale, repeats, jobs),
         "batched_vs_scalar": measure_batched_vs_scalar(scale, repeats),
+        "fast_path": measure_fast_path(repeats),
     }
     return report
 
@@ -195,9 +291,12 @@ def main(argv=None) -> int:
     tp = report["throughput"]
     sg = report["sweep_grid"]
     bs = report["batched_vs_scalar"]
+    fp = report["fast_path"]
     print(f"throughput: {tp['accesses_per_second']:,.0f} simulated "
           f"accesses/s ({tp['simulated_accesses']:,} accesses in "
-          f"{tp['wall_seconds']:.3f}s)")
+          f"{tp['wall_seconds']:.3f}s; trace replay "
+          f"{tp['replay_speedup']:.2f}x over live at "
+          f"{tp['live_accesses_per_second']:,.0f}/s)")
     line = (f"sweep grid: {sg['serial_wall_seconds']:.3f}s serial wall, "
             f"{sg['serial_cpu_seconds']:.3f}s cpu")
     if "parallel_speedup" in sg:
@@ -207,6 +306,10 @@ def main(argv=None) -> int:
     print(f"batched drain vs scalar reference: "
           f"{bs['drain_speedup']:.2f}x (cpu {bs['batched_cpu_seconds']:.3f}s"
           f" vs {bs['scalar_cpu_seconds']:.3f}s)")
+    print(f"resident fast path: "
+          f"{fp['steady_state_accesses_per_second']:,.0f} steady-state "
+          f"accesses/s, hit rate {fp['hit_rate']:.2f}, "
+          f"{fp['fast_path_speedup']:.2f}x vs fast path off")
     saved = f"[saved to {out}"
     if not args.no_history:
         saved += f"; appended to {args.history}"

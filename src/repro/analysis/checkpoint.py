@@ -74,8 +74,16 @@ def _known_fields(cls, data: dict) -> dict:
 
 
 def cell_key(cell) -> str:
-    """Canonical string key of a grid cell (any dataclass spec)."""
-    return json.dumps(_encode(cell), sort_keys=True)
+    """Canonical string key of a grid cell (any dataclass spec).
+
+    ``trace_path`` is excluded: replaying a recorded trace is a pure
+    performance hint that produces bit-identical results, so a cached
+    journal entry must be shared between live and replayed runs of the
+    same cell (and between hosts with different cache directories).
+    """
+    data = _encode(cell)
+    data.pop("trace_path", None)
+    return json.dumps(data, sort_keys=True)
 
 
 def encode_config(config: SimulationConfig) -> dict:
@@ -168,7 +176,10 @@ class CheckpointJournal:
                     continue
                 try:
                     record = json.loads(line)
-                    key = json.dumps(record["cell"], sort_keys=True)
+                    cell = record["cell"]
+                    # Mirror cell_key(): replay hints are not identity.
+                    cell.pop("trace_path", None)
+                    key = json.dumps(cell, sort_keys=True)
                     entries[key] = decode_result(record["result"])
                 except (json.JSONDecodeError, KeyError, TypeError,
                         ValueError):
@@ -182,7 +193,10 @@ class CheckpointJournal:
             if parent:
                 os.makedirs(parent, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
-        record = {"cell": _encode(cell), "result": encode_result(result)}
+        encoded_cell = _encode(cell)
+        # Journals are replay-source-agnostic (see cell_key).
+        encoded_cell.pop("trace_path", None)
+        record = {"cell": encoded_cell, "result": encode_result(result)}
         self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()
 

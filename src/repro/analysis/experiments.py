@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..config import MigrationPolicy, SimulationConfig
 from ..sim.results import RunResult
 from ..sim.simulator import Simulator
+from ..trace.replay import TraceWorkload
 from ..workloads import make_workload
 from . import paper_data
 from .parallel import GridCell, GridOptions, run_grid
@@ -104,8 +105,15 @@ def run_single(workload: str, policy: MigrationPolicy,
                collect_trace: bool = False,
                transfer_fault_rate: float = 0.0,
                migration_fault_rate: float = 0.0,
-               fault_retries: int = 3) -> RunResult:
-    """Run one (workload, policy, oversubscription) cell."""
+               fault_retries: int = 3,
+               trace_path: str | None = None) -> RunResult:
+    """Run one (workload, policy, oversubscription) cell.
+
+    ``trace_path`` replays a recorded trace of the same
+    ``(workload, scale, seed)`` stream instead of regenerating it --
+    bit-identical results, but the (often dominant) wave-generation cost
+    is paid once at record time instead of per cell.
+    """
     cfg = SimulationConfig(seed=seed,
                            collect_page_histogram=collect_histogram,
                            collect_access_trace=collect_trace)
@@ -114,8 +122,11 @@ def run_single(workload: str, policy: MigrationPolicy,
         cfg = cfg.with_faults(transfer_fault_rate=transfer_fault_rate,
                               migration_fault_rate=migration_fault_rate,
                               max_retries=fault_retries)
-    return Simulator(cfg).run(make_workload(workload, scale),
-                              oversubscription=oversubscription)
+    if trace_path is not None:
+        wl: "object" = TraceWorkload(trace_path)
+    else:
+        wl = make_workload(workload, scale)
+    return Simulator(cfg).run(wl, oversubscription=oversubscription)
 
 
 def _workloads(subset=None) -> tuple[str, ...]:

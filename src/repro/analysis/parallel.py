@@ -72,6 +72,13 @@ class GridCell:
     transfer_fault_rate: float = 0.0
     migration_fault_rate: float = 0.0
     fault_retries: int = 3
+    #: Replay the access stream from this recorded trace (an ``.npz``
+    #: file or mmap-able trace directory) instead of regenerating it.
+    #: A pure performance hint: replay is bit-identical to live
+    #: generation, so it is excluded from the cell's checkpoint
+    #: identity.  Usually filled in by :func:`run_grid` from
+    #: :attr:`GridOptions.trace_cache`.
+    trace_path: str | None = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,14 @@ class GridOptions:
     #: Sweep id grouping this grid's archived cells; ``None`` derives a
     #: content-addressed id from the cell set.
     sweep_id: str | None = None
+    #: Directory of a shared :class:`repro.trace.TraceCache`.  When set,
+    #: the runner records each distinct ``(workload, scale, seed)``
+    #: access stream once (in the orchestrator, before fan-out) and
+    #: annotates every cell with the trace's path, so grid cells at
+    #: different oversubscription levels replay the memory-mapped
+    #: stream instead of regenerating waves.  Results are bit-identical
+    #: to cache-off runs.
+    trace_cache: str | None = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -193,7 +208,8 @@ def run_cell(cell: GridCell) -> RunResult:
                       collect_trace=cell.collect_trace,
                       transfer_fault_rate=cell.transfer_fault_rate,
                       migration_fault_rate=cell.migration_fault_rate,
-                      fault_retries=cell.fault_retries)
+                      fault_retries=cell.fault_retries,
+                      trace_path=cell.trace_path)
 
 
 def default_jobs() -> int:
@@ -223,6 +239,8 @@ def run_grid(cells, max_workers: int | None = None,
     """
     cells = list(cells)
     opts = options or GridOptions()
+    if opts.trace_cache:
+        cells = _annotate_trace_paths(cells, opts.trace_cache)
     if max_workers is not None and max_workers < 0:
         raise ValueError(
             f"max_workers must be >= 0 (0 = one per CPU), got {max_workers}")
@@ -265,6 +283,32 @@ def run_grid(cells, max_workers: int | None = None,
         if journal is not None:
             journal.close()
     return results
+
+
+def _annotate_trace_paths(cells, cache_root: str) -> list[GridCell]:
+    """Record each distinct access stream once; point every cell at it.
+
+    Runs in the orchestrator before any fan-out, so a ten-level sweep
+    over one workload records one trace and replays it ten times
+    (memory-mapped, shared page cache) instead of regenerating the
+    stream per cell.  Cells that already carry an explicit
+    ``trace_path`` are left untouched.
+    """
+    from dataclasses import replace
+    from ..trace.cache import TraceCache
+    cache = TraceCache(cache_root)
+    paths: dict[tuple[str, str, int], str] = {}
+    annotated = []
+    for cell in cells:
+        if cell.trace_path is not None:
+            annotated.append(cell)
+            continue
+        stream = (cell.workload, cell.scale, cell.seed)
+        path = paths.get(stream)
+        if path is None:
+            path = paths[stream] = str(cache.get_or_record(*stream))
+        annotated.append(replace(cell, trace_path=path))
+    return annotated
 
 
 # ---------------------------------------------------------------------------

@@ -38,9 +38,10 @@ log), ``--metrics out.json`` (counter/histogram rollup), ``--profile``
 (Chrome-trace export for Perfetto), and ``--archive`` (persist the run
 under ``.repro/runs/<run_id>/`` for later ``repro diff``); the grid
 commands (``figure``, ``sweep``) accept ``--metrics`` for per-cell
-timing and retry rollups plus ``--archive`` to file every grid cell
-under a shared sweep id.  All of them are off by default and cost
-nothing when off.
+timing and retry rollups, ``--archive`` to file every grid cell under
+a shared sweep id, and ``--trace-cache DIR`` to record each access
+stream once and replay it memory-mapped across all cells.  All of them
+are off by default and cost nothing when off.
 """
 
 from __future__ import annotations
@@ -112,7 +113,8 @@ def _grid_options(args):
                            checkpoint=args.checkpoint,
                            resume=args.resume,
                            metrics=registry,
-                           archive=store)
+                           archive=store,
+                           trace_cache=getattr(args, "trace_cache", None))
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}") from None
 
@@ -530,6 +532,12 @@ def _add_grid_args(p) -> None:
     p.add_argument("--archive", action="store_true",
                    help="archive every grid cell's result under the run "
                         "store, grouped by a shared sweep id")
+    p.add_argument("--trace-cache", default=None, metavar="DIR",
+                   help="record each (workload, scale, seed) access "
+                        "stream once into this shared trace cache and "
+                        "replay it memory-mapped in every grid cell "
+                        "(bit-identical results, much less per-cell "
+                        "generation work)")
     _add_runs_arg(p)
 
 

@@ -55,6 +55,11 @@ class DecisionPolicy(ABC):
         the current wave reaches its threshold; earlier accesses are
         served remotely.  A threshold of 1 with baseline 0 is exactly
         first-touch migration.
+
+        Returned arrays are owned by the caller but must be treated as
+        read-only by the policy afterwards: fancy-indexed gathers from
+        the counter file already produce fresh copies, so policies do
+        not defensively ``.copy()`` on the hot path.
         """
 
 
@@ -80,7 +85,7 @@ class StaticAlwaysPolicy(DecisionPolicy):
     def decision_state(self, blocks, driver):
         ts = self.config.static_threshold
         return (th.static_thresholds(len(blocks), ts),
-                driver.counters.volta_counts[blocks].copy())
+                driver.counters.volta_counts[blocks])
 
 
 class StaticOversubPolicy(DecisionPolicy):
@@ -100,7 +105,7 @@ class StaticOversubPolicy(DecisionPolicy):
             return (th.first_touch_thresholds(n), np.zeros(n, dtype=np.int64))
         ts = self.config.static_threshold
         td = np.where(driver.ever_migrated[blocks], 1, ts).astype(np.int64)
-        return (td, driver.counters.volta_counts[blocks].copy())
+        return (td, driver.counters.volta_counts[blocks])
 
 
 class AdaptivePolicy(DecisionPolicy):
@@ -116,22 +121,27 @@ class AdaptivePolicy(DecisionPolicy):
 
     kind = MigrationPolicy.ADAPTIVE
 
+    def __init__(self, config: PolicyConfig) -> None:
+        super().__init__(config)
+        # Validate Equation 1's parameters once here so the per-wave
+        # threshold kernel can skip argument checks on the hot path.
+        if config.static_threshold < 1:
+            raise ValueError("static threshold must be >= 1")
+        if config.migration_penalty < 1:
+            raise ValueError("migration penalty must be >= 1")
+
     def decision_state(self, blocks, driver):
-        ts = self.config.static_threshold
         counters = driver.counters
-        if not driver.device.oversubscribed:
-            td_scalar = th.dynamic_threshold_no_oversub(
-                ts, driver.device.occupancy)
-            td = np.full(len(blocks), td_scalar, dtype=np.int64)
-        else:
-            td = th.dynamic_thresholds_oversub(
-                ts, counters.roundtrips[blocks],
-                self.config.migration_penalty)
+        over = driver.device.oversubscribed
+        td = th.eq1_thresholds(self.config.static_threshold,
+                               self.config.migration_penalty,
+                               over, driver.device.occupancy, len(blocks),
+                               counters.roundtrips[blocks] if over else None)
         if self.config.historic_counters:
-            baseline = counters.counts[blocks].astype(np.int64)
+            baseline = counters.counts[blocks]
         else:
             # Ablation: plain Volta counters under the dynamic threshold.
-            baseline = counters.volta_counts[blocks].copy()
+            baseline = counters.volta_counts[blocks]
         return (td, baseline)
 
 

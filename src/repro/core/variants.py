@@ -40,9 +40,9 @@ class LinearBackoffPolicy(AdaptivePolicy):
         counters = driver.counters
         if not driver.device.oversubscribed:
             return super().decision_state(blocks, driver)
-        r = counters.roundtrips[blocks].astype(np.int64)
+        r = counters.roundtrips[blocks]
         td = ts + r * self.config.migration_penalty
-        return (td, counters.counts[blocks].astype(np.int64))
+        return (td, counters.counts[blocks])
 
 
 class ExponentialBackoffPolicy(AdaptivePolicy):
@@ -63,13 +63,13 @@ class ExponentialBackoffPolicy(AdaptivePolicy):
         counters = driver.counters
         if not driver.device.oversubscribed:
             return super().decision_state(blocks, driver)
-        r = counters.roundtrips[blocks].astype(np.int64)
+        r = counters.roundtrips[blocks]
         p = self.config.migration_penalty
         exponents = np.minimum(r + 1, 32)
         td = np.minimum(ts * np.power(float(p), exponents),
                         float(self.CAP)).astype(np.int64)
         td = np.maximum(td, 1)
-        return (td, counters.counts[blocks].astype(np.int64))
+        return (td, counters.counts[blocks])
 
 
 class OccupancyOnlyPolicy(AdaptivePolicy):
@@ -83,7 +83,7 @@ class OccupancyOnlyPolicy(AdaptivePolicy):
         td_scalar = th.dynamic_threshold_no_oversub(
             ts, driver.device.occupancy)
         td = np.full(len(blocks), td_scalar, dtype=np.int64)
-        return (td, counters.counts[blocks].astype(np.int64))
+        return (td, counters.counts[blocks])
 
 
 #: Registry of threshold variants, keyed by a short name.

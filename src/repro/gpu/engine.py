@@ -45,21 +45,28 @@ class GpuExecutionEngine:
         kernel_cycles = 0.0
         kernel_accesses = 0
         prof = self._prof
+        # The wave loop is the simulator's innermost Python loop; bound
+        # methods are resolved once per launch instead of per wave.
+        collector = self.collector
+        process_wave = self.driver.process_wave
+        wave_cycles = self.timing.wave_cycles
+        merge_timing = self.total_timing.merge
+        merge_events = self.total_events.merge
         for wave in launch.waves():
-            if self.collector is not None:
-                self.collector.on_wave(launch.name, launch.iteration,
-                                       self.cycle, wave.pages, wave.is_write,
-                                       wave.counts)
+            if collector is not None:
+                collector.on_wave(launch.name, launch.iteration,
+                                  self.cycle, wave.pages, wave.is_write,
+                                  wave.counts)
             if prof is not None:
                 with prof.span("wave"):
-                    outcome = self.driver.process_wave(
+                    outcome = process_wave(
                         wave.pages, wave.is_write, wave.counts)
             else:
-                outcome = self.driver.process_wave(wave.pages, wave.is_write,
-                                                   wave.counts)
-            t = self.timing.wave_cycles(outcome, wave.compute_cycles)
-            self.total_timing.merge(t)
-            self.total_events.merge(outcome)
+                outcome = process_wave(wave.pages, wave.is_write,
+                                       wave.counts)
+            t = wave_cycles(outcome, wave.compute_cycles)
+            merge_timing(t)
+            merge_events(outcome)
             self.cycle += t.total
             kernel_cycles += t.total
             kernel_accesses += outcome.n_accesses
@@ -74,15 +81,15 @@ class GpuExecutionEngine:
                     self.cycle,
                     self.driver.device.used_blocks
                     / self.driver.device.capacity_blocks)
-            if self.collector is not None:
-                self.collector.on_timeline(
+            if collector is not None:
+                collector.on_timeline(
                     self.cycle, self.driver.device.used_blocks,
                     self.driver.device.capacity_blocks,
                     self.total_events.fault_events,
                     self.total_events.thrash_migrations)
-        if self.collector is not None:
-            self.collector.on_kernel_end(launch.name, kernel_cycles,
-                                         kernel_accesses)
+        if collector is not None:
+            collector.on_kernel_end(launch.name, kernel_cycles,
+                                    kernel_accesses)
         return kernel_cycles
 
     def run(self, workload: Workload) -> float:

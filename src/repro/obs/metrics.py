@@ -9,6 +9,13 @@ the decimated time series).
 All metric types serialize through ``as_dict()`` into plain JSON types,
 and :meth:`MetricsRegistry.write_json` dumps the whole registry -- the
 ``--metrics out.json`` CLI artifact.
+
+Names are dotted ``component.metric`` paths: ``engine.*`` (wave loop),
+``pcie.*`` / ``device.*`` (interconnect and memory pressure series),
+``grid.*`` (sweep orchestration), and ``driver.*`` for driver rollups
+-- e.g. ``driver.fast_path_hit_rate``, the end-of-run gauge giving the
+fraction of waves the resident fast path absorbed (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations

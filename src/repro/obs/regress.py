@@ -27,6 +27,11 @@ GATED_METRICS: dict[str, str] = {
     "throughput.accesses_per_second": "higher",
     "sweep_grid.serial_cpu_seconds": "lower",
     "batched_vs_scalar.drain_speedup": "higher",
+    # Resident fast path (steady-state all-resident waves): both the
+    # microbench throughput and the hit rate the throughput cells see.
+    # Absent from pre-fast-path history entries, so those skip cleanly.
+    "fast_path.steady_state_accesses_per_second": "higher",
+    "fast_path.hit_rate": "higher",
 }
 
 #: Default trailing-window length and relative tolerance.

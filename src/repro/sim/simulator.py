@@ -95,6 +95,15 @@ class Simulator:
         else:
             total = engine.run(workload)
 
+        if obs is not None and obs.metrics is not None:
+            # End-of-run rollup: how much of the wave stream the resident
+            # fast path absorbed (see docs/observability.md).
+            obs.metrics.gauge("driver.fast_path_hit_rate").set(
+                driver.fast_path_hit_rate)
+            obs.metrics.counter("driver.fast_path_waves").inc(
+                driver.stats.fast_path_waves)
+            obs.metrics.counter("driver.waves").inc(driver.stats.waves)
+
         return RunResult(
             workload=workload.name,
             config=config,

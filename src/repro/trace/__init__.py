@@ -1,15 +1,26 @@
 """Trace capture and replay: record a workload's access stream once,
 re-simulate it under any configuration, or import external traces."""
 
+from .cache import TraceCache, trace_key
 from .format import TRACE_VERSION, TraceData
-from .recorder import load_trace, record_trace, save_trace
+from .recorder import (
+    load_trace,
+    load_trace_dir,
+    record_trace,
+    save_trace,
+    save_trace_dir,
+)
 from .replay import TraceWorkload
 
 __all__ = [
     "TRACE_VERSION",
+    "TraceCache",
     "TraceData",
     "TraceWorkload",
     "load_trace",
+    "load_trace_dir",
     "record_trace",
     "save_trace",
+    "save_trace_dir",
+    "trace_key",
 ]

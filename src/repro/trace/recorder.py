@@ -1,7 +1,21 @@
-"""Recording workload executions into trace files."""
+"""Recording workload executions into trace files.
+
+Two on-disk layouts are supported:
+
+* ``save_trace``/``load_trace`` -- one compressed ``.npz`` file; compact
+  and self-contained, but ``np.load`` must decompress every array into
+  fresh memory on open.
+* ``save_trace_dir``/``load_trace_dir`` -- a directory holding one raw
+  ``.npy`` file per array plus a ``manifest.json`` for the scalar
+  tables.  Raw ``.npy`` files memory-map (``mmap_mode="r"``), so many
+  simulator processes replaying the same recorded stream share one
+  page-cache copy of the access arrays instead of materializing a
+  private copy each -- the layout the grid trace cache uses.
+"""
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import numpy as np
@@ -98,6 +112,71 @@ def save_trace(data: TraceData, path: str | pathlib.Path) -> pathlib.Path:
     # np.savez appends .npz only when missing; normalize the return.
     return path if path.suffix == ".npz" else path.with_suffix(
         path.suffix + ".npz")
+
+
+#: Scalar-table file inside a trace directory; its presence marks the
+#: directory as a fully committed trace.
+MANIFEST_NAME = "manifest.json"
+
+#: The numeric arrays stored as individual ``.npy`` files in a trace
+#: directory (everything else lives in the manifest).
+_DIR_ARRAYS = ("alloc_sizes", "alloc_read_only", "kernel_iterations",
+               "wave_kernel", "wave_offsets", "wave_compute",
+               "pages", "is_write", "counts")
+
+
+def save_trace_dir(data: TraceData,
+                   path: str | pathlib.Path) -> pathlib.Path:
+    """Write a trace as a directory of mmap-able ``.npy`` files.
+
+    The manifest is written last, so readers that gate on its presence
+    (:class:`repro.trace.cache.TraceCache`) never observe a
+    half-written trace.
+    """
+    data.validate()
+    path = pathlib.Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    for name in _DIR_ARRAYS:
+        np.save(path / f"{name}.npy", np.asarray(getattr(data, name)))
+    manifest = {
+        "version": data.version,
+        "alloc_names": list(data.alloc_names),
+        "alloc_advice": list(data.alloc_advice),
+        "kernel_names": list(data.kernel_names),
+        "meta": {"workload": data.meta.get("workload", ""),
+                 "category": data.meta.get("category", ""),
+                 "seed": int(data.meta.get("seed", 0))},
+    }
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return path
+
+
+def load_trace_dir(path: str | pathlib.Path,
+                   mmap: bool = True) -> TraceData:
+    """Read a trace directory written by :func:`save_trace_dir`.
+
+    With ``mmap`` (the default) the access arrays are memory-mapped
+    read-only instead of loaded, so opening a multi-hundred-MB trace is
+    O(metadata) and concurrent replays share the page cache.
+    """
+    path = pathlib.Path(path)
+    manifest = json.loads((path / MANIFEST_NAME).read_text(encoding="utf-8"))
+    mode = "r" if mmap else None
+    arrays = {name: np.load(path / f"{name}.npy", mmap_mode=mode,
+                            allow_pickle=False)
+              for name in _DIR_ARRAYS}
+    data = TraceData(
+        alloc_names=[str(s) for s in manifest["alloc_names"]],
+        alloc_advice=[str(s) for s in manifest["alloc_advice"]],
+        kernel_names=[str(s) for s in manifest["kernel_names"]],
+        version=int(manifest["version"]),
+        meta=dict(manifest["meta"]),
+        **arrays,
+    )
+    data.validate()
+    return data
 
 
 def load_trace(path: str | pathlib.Path) -> TraceData:

@@ -10,7 +10,7 @@ import numpy as np
 from ..memory.advice import Advice
 from ..workloads.base import Category, KernelLaunch, Wave, Workload
 from .format import TraceData
-from .recorder import load_trace
+from .recorder import load_trace, load_trace_dir
 
 
 class TraceWorkload(Workload):
@@ -19,18 +19,31 @@ class TraceWorkload(Workload):
     The replay reallocates the trace's allocation table in order, which
     reproduces the identical virtual layout (the allocator is
     deterministic), so the recorded page ids remain valid.
+
+    ``trace`` may be in-memory :class:`TraceData`, an ``.npz`` file
+    path, or a trace *directory* (the mmap-able layout of
+    :func:`repro.trace.recorder.save_trace_dir`); directories are
+    memory-mapped, so concurrent replays of one cache entry share a
+    single page-cache copy of the access arrays.
     """
 
     def __init__(self, trace: TraceData | str | pathlib.Path) -> None:
         super().__init__()
         if not isinstance(trace, TraceData):
-            trace = load_trace(trace)
+            p = pathlib.Path(trace)
+            trace = load_trace_dir(p) if p.is_dir() else load_trace(p)
         trace.validate()
         self.trace = trace
         self.name = trace.meta.get("workload") or "trace"
         cat = trace.meta.get("category", "")
         self.category = (Category(cat) if cat in
                          (c.value for c in Category) else Category.IRREGULAR)
+        # Recorded traces list waves in launch order, so each launch is
+        # one contiguous segment of ``wave_kernel`` and a binary search
+        # replaces the per-launch full scan.  Externally-produced traces
+        # may interleave; those keep the scan.
+        wk = trace.wave_kernel
+        self._ordered = bool(wk.size == 0 or (wk[1:] >= wk[:-1]).all())
 
     def _allocate(self, vas, rng) -> None:
         t = self.trace
@@ -41,7 +54,12 @@ class TraceWorkload(Workload):
 
     def _waves_for(self, launch_index: int):
         t = self.trace
-        wave_ids = np.flatnonzero(t.wave_kernel == launch_index)
+        if self._ordered:
+            wave_ids = range(
+                int(np.searchsorted(t.wave_kernel, launch_index, "left")),
+                int(np.searchsorted(t.wave_kernel, launch_index, "right")))
+        else:
+            wave_ids = np.flatnonzero(t.wave_kernel == launch_index)
         for w in wave_ids:
             lo, hi = t.wave_offsets[w], t.wave_offsets[w + 1]
             compute = t.wave_compute[w]

@@ -33,12 +33,15 @@ class AccessCounterFile:
         self.bus = bus
         if counter_bits + roundtrip_bits != 32:
             raise ValueError("counter register must total 32 bits")
-        self.counter_max = np.uint64((1 << counter_bits) - 1)
-        self.roundtrip_max = np.uint64((1 << roundtrip_bits) - 1)
+        self.counter_max = np.int64((1 << counter_bits) - 1)
+        self.roundtrip_max = np.int64((1 << roundtrip_bits) - 1)
         # Stored wider than the architectural registers so a vectorized
-        # bulk add cannot wrap before the saturation check runs.
-        self._counts = np.zeros(total_blocks, dtype=np.uint64)
-        self._roundtrips = np.zeros(total_blocks, dtype=np.uint64)
+        # bulk add cannot wrap before the saturation check runs.  int64
+        # (rather than uint64) keeps the fields in the native dtype of
+        # the driver's wave arithmetic, so the per-wave bulk adds and the
+        # policies' counter gathers never pay a dtype-conversion copy.
+        self._counts = np.zeros(total_blocks, dtype=np.int64)
+        self._roundtrips = np.zeros(total_blocks, dtype=np.int64)
         #: Volta-hardware-style counters: remote accesses since the block
         #: last migrated (reset on migration).  The static Always/Oversub
         #: schemes consult these; the paper's framework uses the historic
@@ -74,11 +77,11 @@ class AccessCounterFile:
         Saturation of any block halves the access-count field of *all*
         blocks, as described in the paper.
         """
-        np.add.at(self._counts, blocks, amounts.astype(np.uint64, copy=False))
+        np.add.at(self._counts, blocks, amounts.astype(np.int64, copy=False))
         # Only just-updated blocks can newly saturate (counts never grow
         # elsewhere), so the check scans the update, not the whole file.
-        while self._counts[blocks].max(initial=np.uint64(0)) >= self.counter_max:
-            self._counts >>= np.uint64(1)
+        while self._counts[blocks].max(initial=np.int64(0)) >= self.counter_max:
+            self._counts >>= 1
             self.count_halvings += 1
             if self.bus is not None and self.bus.enabled:
                 self.bus.emit(CounterHalving(wave=self.bus.wave,
@@ -87,10 +90,10 @@ class AccessCounterFile:
 
     def add_roundtrip(self, blocks: np.ndarray) -> None:
         """Record an eviction round trip for each block in ``blocks``."""
-        self._roundtrips[blocks] += np.uint64(1)
+        self._roundtrips[blocks] += 1
         self.has_roundtrips = True
-        while self._roundtrips[blocks].max(initial=np.uint64(0)) > self.roundtrip_max:
-            self._roundtrips >>= np.uint64(1)
+        while self._roundtrips[blocks].max(initial=np.int64(0)) > self.roundtrip_max:
+            self._roundtrips >>= 1
             self.roundtrip_halvings += 1
             if self.bus is not None and self.bus.enabled:
                 self.bus.emit(CounterHalving(

@@ -31,6 +31,7 @@ from ..memory.allocator import VirtualAddressSpace
 from ..memory.device import DeviceMemory
 from ..memory.host import HostMemory
 from ..obs.events import Eviction, FaultRetry, MigrationDecision, PrefetchExpand
+from ..workloads.base import default_counts
 from .counters import AccessCounterFile
 from .eviction import ChunkDirectory, select_victims
 from .faults import FaultInjector
@@ -84,16 +85,34 @@ class WaveOutcome:
         return self.migrated_blocks + self.prefetched_blocks
 
     def merge(self, other: "WaveOutcome") -> None:
-        """Accumulate ``other`` into this outcome (for aggregation)."""
-        for f in _WAVE_OUTCOME_FIELDS:
-            setattr(self, f, getattr(self, f) + getattr(other, f))
+        """Accumulate ``other`` into this outcome (for aggregation).
+
+        The body is replaced after the class definition by a compiled,
+        field-unrolled accumulate: ``merge`` runs on every wave, and the
+        generic getattr/setattr walk costs ~4 dynamic lookups per field
+        per call.
+        """
+        raise NotImplementedError  # pragma: no cover - replaced below
 
 
-#: Field names of :class:`WaveOutcome`, precomputed once: ``merge`` runs
-#: twice per wave on the hottest path and must not re-walk
-#: ``__dataclass_fields__`` every call.
+#: Field names of :class:`WaveOutcome`, precomputed once and used to
+#: code-generate the unrolled ``merge`` body below.
 _WAVE_OUTCOME_FIELDS: tuple[str, ...] = tuple(
     f.name for f in WaveOutcome.__dataclass_fields__.values())
+
+
+def _compile_merge() -> "callable":
+    """Build the unrolled ``WaveOutcome.merge`` from the field list."""
+    body = "".join(f"    self.{name} += other.{name}\n"
+                   for name in _WAVE_OUTCOME_FIELDS)
+    ns: dict[str, object] = {}
+    exec(f"def merge(self, other):\n{body}", ns)  # noqa: S102
+    fn = ns["merge"]
+    fn.__doc__ = WaveOutcome.merge.__doc__
+    return fn
+
+
+WaveOutcome.merge = _compile_merge()
 
 
 @dataclass
@@ -102,6 +121,9 @@ class DriverCounters:
 
     totals: WaveOutcome = field(default_factory=WaveOutcome)
     waves: int = 0
+    #: Waves resolved entirely by the resident fast path (every accessed
+    #: block already device-resident: counter add + LRU touch only).
+    fast_path_waves: int = 0
     #: Blocks that have thrashed (been re-migrated) at least once.
     thrashed_block_ids: set[int] = field(default_factory=set)
 
@@ -145,6 +167,10 @@ class UvmDriver:
         # delayed-migration threshold regardless of the active policy.
         self.block_pinned_host = vas.block_advice(Advice.PINNED_HOST)
         self.block_preferred_host = vas.block_advice(Advice.PREFERRED_HOST)
+        # Advice is fixed at allocation time, so the common no-hints case
+        # is decided once here instead of with per-wave array reductions.
+        self._has_pinned = bool(self.block_pinned_host.any())
+        self._has_preferred = bool(self.block_preferred_host.any())
         self.policy: DecisionPolicy = make_policy(config.policy)
         kind = (config.memory.prefetcher.value
                 if config.memory.prefetcher_enabled else "none")
@@ -164,6 +190,12 @@ class UvmDriver:
         #: implementation; the equivalence property tests and the perf
         #: harness flip this flag to compare the two paths.
         self.batched_migrations = True
+        #: Resolve all-resident waves through the short-circuit fast
+        #: path (one residency gather, then counter add + LRU touch
+        #: only).  Off, every wave walks the full pipeline; the
+        #: equivalence property tests flip this flag to pin
+        #: bit-identical outcomes and driver state.
+        self.resident_fast_path = True
         # Per-wave LFU victim-ordering caches: per-chunk resident heat
         # sums and any-dirty flags, built lazily at the wave's first
         # pressure event and updated incrementally on install/evict.
@@ -190,7 +222,7 @@ class UvmDriver:
         if pages.shape != is_write.shape:
             raise ValueError("pages and is_write must have identical shape")
         if counts is None:
-            counts = np.ones(pages.shape, dtype=np.int64)
+            counts = default_counts(pages.size)
         else:
             counts = np.asarray(counts, dtype=np.int64)
             if counts.shape != pages.shape:
@@ -206,10 +238,35 @@ class UvmDriver:
             # Wave context for every event emitted below this frame.
             self._bus.wave = self.stats.waves
 
+        blocks = pages >> layout.BLOCK_SHIFT
+
+        # -- resident fast path ------------------------------------------
+        # Steady state for a warmed-up working set: every accessed block
+        # already device-resident.  One residency gather detects it, and
+        # the wave then needs only local-service accounting, the dirty
+        # marks, the LRU touch, and the counter add -- no per-block
+        # grouping, policy consultation, fault injection, or room-making.
+        # Duplicate block/chunk ids are harmless to each of those updates,
+        # so the grouping pass is skipped entirely; outcomes and driver
+        # state are bit-identical to the full pipeline (property-tested).
+        if self.resident_fast_path and bool(self.residency.resident[blocks].all()):
+            out.n_local = out.n_accesses
+            wb = blocks[is_write]
+            if wb.size:
+                self._note_dirty(wb)
+            self.directory.last_touch[
+                self.directory.chunk_of_block[blocks]] = self._clock
+            self.counters.add_accesses(blocks, counts)
+            self.stats.fast_path_waves += 1
+            self.stats.waves += 1
+            self.stats.totals.merge(out)
+            if self.debug_invariants:
+                self._check_wave_accounting()
+            return out
+
         # Group the wave's accesses per basic block: sort once, then
         # segment-reduce, which beats np.unique + two weighted bincounts
         # on the per-wave hot path.
-        blocks = pages >> layout.BLOCK_SHIFT
         if blocks.size == 1 or bool((blocks[1:] >= blocks[:-1]).all()):
             # Sweep-style waves arrive block-sorted: skip the argsort
             # and the three gather permutations entirely.
@@ -265,23 +322,35 @@ class UvmDriver:
     def _handle_far_accesses(self, nrb: np.ndarray, k: np.ndarray,
                              kw: np.ndarray, pinned: np.ndarray,
                              out: WaveOutcome) -> None:
-        """Split far accesses into remote service and migrations."""
+        """Split far accesses into remote service and migrations.
+
+        The decision itself is one fused array kernel: the policy
+        produces the per-block thresholds (both Equation-1 regimes fused
+        in :func:`repro.uvm.thresholds.eq1_thresholds`) and counter
+        baselines, and the migrate/remote partition falls out of a
+        single vectorized comparison.  Per-block observability events
+        are materialized only when an event sink is actually attached.
+        """
         td, c0 = self.policy.decision_state(nrb, self)
         td = np.asarray(td, dtype=np.int64)
         c0 = np.asarray(c0, dtype=np.int64)
 
-        # Programmer hints override the policy (Section III-C).
-        preferred = self.block_preferred_host[nrb]
-        if preferred.any():
-            ts = self.config.policy.static_threshold
-            volta = self.counters.volta_counts[nrb]
-            td = np.where(preferred, np.maximum(td, ts), td)
-            c0 = np.where(preferred, volta, c0)
+        # Programmer hints override the policy (Section III-C).  Whether
+        # any hint exists at all is precomputed at construction, so the
+        # unhinted common case pays no per-wave gather.
+        if self._has_preferred:
+            preferred = self.block_preferred_host[nrb]
+            if preferred.any():
+                ts = self.config.policy.static_threshold
+                volta = self.counters.volta_counts[nrb]
+                td = np.where(preferred, np.maximum(td, ts), td)
+                c0 = np.where(preferred, volta, c0)
 
         migrate = (c0 + k) >= td
-        pinned_host = self.block_pinned_host[nrb]
-        if pinned_host.any():
-            migrate &= ~pinned_host
+        if self._has_pinned:
+            pinned_host = self.block_pinned_host[nrb]
+            if pinned_host.any():
+                migrate &= ~pinned_host
 
         # Injected transient faults: a migration that exhausts its retry
         # budget degrades to the remote path (joins the non-migrating
@@ -300,8 +369,11 @@ class UvmDriver:
                                            migrated=m))
 
         # Accesses served remotely before a (possible) migration trigger.
-        remote_before = np.clip(td - 1 - c0, 0, k - 1)
-        remote = np.where(migrate, remote_before, k)
+        if migrate.any():
+            remote_before = np.clip(td - 1 - c0, 0, k - 1)
+            remote = np.where(migrate, remote_before, k)
+        else:
+            remote = k
         out.n_remote += int(remote.sum())
         # Volta hardware counters see every remote access.
         self.counters.add_remote_accesses(nrb, remote)
@@ -719,6 +791,19 @@ class UvmDriver:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    @property
+    def fast_path_hit_rate(self) -> float:
+        """Fraction of waves resolved by the resident fast path.
+
+        1.0 means every wave found its whole working set device-resident
+        (steady state, no oversubscription churn); 0.0 means the full
+        pipeline ran every wave.  Exported as the ``driver.fast_path_hit_rate``
+        gauge when an observability handle is attached.
+        """
+        if self.stats.waves == 0:
+            return 0.0
+        return self.stats.fast_path_waves / self.stats.waves
 
     def _check_wave_accounting(self) -> None:
         """Cheap residency/capacity invariants, run after every wave.

@@ -43,11 +43,25 @@ class ChunkDirectory:
             if span.chunk_id != cid:
                 raise ValueError("chunks must be passed in chunk-id order")
             self.chunk_of_block[span.first_block:span.last_block] = cid
+        # Chunk geometry is immutable, so the per-chunk block-index
+        # arrays and the gap mask are built once and shared (read-only)
+        # instead of being reallocated on every eviction/rebuild.
+        self._valid_block = self.chunk_of_block >= 0
+        self._valid_block.flags.writeable = False
+        self._valid_chunk_ids = self.chunk_of_block[self._valid_block]
+        self._valid_chunk_ids.flags.writeable = False
+        self._chunk_blocks: list[np.ndarray | None] = [None] * self.num_chunks
 
     def blocks_of_chunk(self, chunk_id: int) -> np.ndarray:
-        """Global basic-block indices of one chunk."""
-        first = self.first_block[chunk_id]
-        return np.arange(first, first + self.num_blocks[chunk_id], dtype=np.int64)
+        """Global basic-block indices of one chunk (shared, read-only)."""
+        blocks = self._chunk_blocks[chunk_id]
+        if blocks is None:
+            first = self.first_block[chunk_id]
+            blocks = np.arange(first, first + self.num_blocks[chunk_id],
+                               dtype=np.int64)
+            blocks.flags.writeable = False
+            self._chunk_blocks[chunk_id] = blocks
+        return blocks
 
     def touch(self, chunk_ids: np.ndarray, now: int) -> None:
         """Refresh the LRU position of accessed chunks."""
@@ -55,9 +69,9 @@ class ChunkDirectory:
 
     def chunk_heat(self, counters: np.ndarray) -> np.ndarray:
         """Aggregate access count per chunk from the per-block counter file."""
-        valid = self.chunk_of_block >= 0
-        return np.bincount(self.chunk_of_block[valid],
-                           weights=counters[valid].astype(np.float64),
+        return np.bincount(self._valid_chunk_ids,
+                           weights=counters[self._valid_block]
+                           .astype(np.float64),
                            minlength=self.num_chunks)
 
     def resident_heat(self, counters: np.ndarray,
@@ -68,7 +82,7 @@ class ChunkDirectory:
         incrementally across installs and evictions (integer-valued
         float64 arithmetic, so the running sums stay exact).
         """
-        valid = (self.chunk_of_block >= 0) & resident
+        valid = self._valid_block & resident
         return np.bincount(self.chunk_of_block[valid],
                            weights=counters[valid].astype(np.float64),
                            minlength=self.num_chunks)
@@ -97,10 +111,13 @@ class ChunkDirectory:
         contribute -- what matters is the hotness of the pages an
         eviction would actually displace.
         """
-        valid = self.chunk_of_block >= 0
         if resident is not None:
-            valid = valid & resident
-        heat = np.bincount(self.chunk_of_block[valid],
+            valid = self._valid_block & resident
+            ids = self.chunk_of_block[valid]
+        else:
+            valid = self._valid_block
+            ids = self._valid_chunk_ids
+        heat = np.bincount(ids,
                            weights=counters[valid].astype(np.float64),
                            minlength=self.num_chunks)
         denom = (np.maximum(self.occupancy, 1) if resident is not None
@@ -110,9 +127,9 @@ class ChunkDirectory:
 
     def chunk_dirty(self, dirty: np.ndarray) -> np.ndarray:
         """True per chunk when any resident block is dirty."""
-        valid = self.chunk_of_block >= 0
-        counts = np.bincount(self.chunk_of_block[valid],
-                             weights=dirty[valid].astype(np.float64),
+        counts = np.bincount(self._valid_chunk_ids,
+                             weights=dirty[self._valid_block]
+                             .astype(np.float64),
                              minlength=self.num_chunks)
         return counts > 0
 

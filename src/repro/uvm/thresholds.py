@@ -58,3 +58,22 @@ def dynamic_thresholds_oversub(ts: int, roundtrips: np.ndarray,
     if r.size and r.min() < 0:
         raise ValueError("round-trip counts cannot be negative")
     return ts * (r + 1) * penalty
+
+
+def eq1_thresholds(ts: int, penalty: int, oversubscribed: bool,
+                   occupancy_fraction: float, n: int,
+                   roundtrips: np.ndarray | None = None) -> np.ndarray:
+    """Both Equation-1 regimes as one per-wave kernel, validation-free.
+
+    The driver's hot path calls this once per wave with pre-validated
+    parameters (``ts >= 1``, ``penalty >= 1`` -- checked when the policy
+    is constructed).  Below oversubscription the scalar occupancy
+    threshold is broadcast over ``n`` blocks; above it the per-block
+    thrash penalty applies to the counter file's round-trip slice
+    (``roundtrips``, only needed then).  Semantics are identical to
+    :func:`dynamic_threshold_no_oversub` / :func:`dynamic_thresholds_oversub`.
+    """
+    if oversubscribed:
+        return ts * penalty * (roundtrips + 1)
+    td = math.floor(ts * occupancy_fraction) + 1
+    return np.full(n, td, dtype=np.int64)

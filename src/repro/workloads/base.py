@@ -29,6 +29,25 @@ class Category(enum.Enum):
     IRREGULAR = "irregular"
 
 
+_ONES_CACHE: dict[int, np.ndarray] = {}
+
+
+def default_counts(length: int) -> np.ndarray:
+    """Shared read-only all-ones counts array of ``length``.
+
+    Most waves use the default one-access-per-entry counts; sharing one
+    immutable array per length removes an allocation from every wave.
+    Consumers must treat the result as read-only (enforced via the
+    writeable flag).
+    """
+    ones = _ONES_CACHE.get(length)
+    if ones is None:
+        ones = np.ones(length, dtype=np.int64)
+        ones.flags.writeable = False
+        _ONES_CACHE[length] = ones
+    return ones
+
+
 @dataclass
 class Wave:
     """Page accesses of one scheduling window of warps.
@@ -51,7 +70,9 @@ class Wave:
         if self.pages.shape != self.is_write.shape:
             raise ValueError("pages and is_write must have identical shape")
         if self.counts is None:
-            self.counts = np.ones(self.pages.shape, dtype=np.int64)
+            self.counts = (default_counts(self.pages.size)
+                           if self.pages.ndim == 1
+                           else np.ones(self.pages.shape, dtype=np.int64))
         else:
             self.counts = np.asarray(self.counts, dtype=np.int64)
             if self.counts.shape != self.pages.shape:
@@ -115,8 +136,7 @@ class WaveBuilder:
         self._pages.append(pages)
         self._writes.append(np.full(pages.shape, write, dtype=bool))
         c = _broadcast_counts(counts, pages)
-        self._counts.append(
-            np.ones(pages.shape, dtype=np.int64) if c is None else c)
+        self._counts.append(default_counts(pages.size) if c is None else c)
         return self
 
     def build(self, compute_cycles: float | None = None,

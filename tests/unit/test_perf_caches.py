@@ -1,0 +1,120 @@
+"""Unit tests for the hot-path micro-caches added with the fast path.
+
+Covers the satellite optimizations riding along with the resident fast
+path: the chunk directory's cached block-index arrays, the shared
+default-counts wave arrays, the code-generated ``WaveOutcome.merge``,
+the checkpoint journal's trace-path exclusion, and the fast-path
+observability rollups.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import GridCell, cell_key
+from repro.analysis.checkpoint import CheckpointJournal
+from repro.analysis.parallel import run_cell
+from repro.config import MigrationPolicy, SimulationConfig
+from repro.obs import MetricsRegistry, Observability
+from repro.sim.simulator import Simulator
+from repro.uvm.driver import WaveOutcome
+from repro.uvm.eviction import ChunkDirectory
+from repro.workloads import make_workload
+from repro.workloads.base import Wave, default_counts
+
+from tests.conftest import make_vas
+
+
+class TestChunkBlockCache:
+    def _directory(self):
+        vas = make_vas(4, 8)
+        return ChunkDirectory(vas.chunks, vas.total_blocks)
+
+    def test_blocks_of_chunk_is_cached_and_read_only(self):
+        d = self._directory()
+        a = d.blocks_of_chunk(0)
+        assert d.blocks_of_chunk(0) is a
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 99
+
+    def test_cached_blocks_match_geometry(self):
+        d = self._directory()
+        for cid in range(d.num_chunks):
+            blocks = d.blocks_of_chunk(cid)
+            first = int(d.first_block[cid])
+            assert np.array_equal(
+                blocks, np.arange(first, first + blocks.size))
+            assert np.all(d.chunk_of_block[blocks] == cid)
+
+
+class TestDefaultCounts:
+    def test_shared_and_immutable(self):
+        a = default_counts(7)
+        assert default_counts(7) is a
+        assert a.dtype == np.int64
+        assert np.all(a == 1)
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 2
+
+    def test_wave_defaults_to_shared_ones(self):
+        w = Wave(np.arange(5, dtype=np.int64), np.zeros(5, dtype=bool))
+        assert w.counts is default_counts(5)
+
+    def test_explicit_counts_untouched(self):
+        counts = np.full(3, 4, dtype=np.int64)
+        w = Wave(np.arange(3, dtype=np.int64), np.zeros(3, dtype=bool),
+                 counts=counts)
+        assert w.counts is counts
+
+
+class TestMergeCodegen:
+    def test_merge_accumulates_every_field(self):
+        fields = [f.name for f in dataclasses.fields(WaveOutcome)]
+        a = WaveOutcome(**{n: i + 1 for i, n in enumerate(fields)})
+        b = WaveOutcome(**{n: 100 * (i + 1) for i, n in enumerate(fields)})
+        a.merge(b)
+        for i, name in enumerate(fields):
+            assert getattr(a, name) == 101 * (i + 1), name
+
+    def test_merge_identity(self):
+        out = WaveOutcome(n_accesses=3, n_local=2, n_remote=1)
+        out.merge(WaveOutcome())
+        assert out == WaveOutcome(n_accesses=3, n_local=2, n_remote=1)
+
+
+class TestCheckpointTracePathExclusion:
+    def test_cell_key_ignores_trace_path(self):
+        plain = GridCell("ra", MigrationPolicy.ADAPTIVE, 1.25, "tiny")
+        traced = dataclasses.replace(plain, trace_path="/some/cache/entry")
+        assert cell_key(plain) == cell_key(traced)
+
+    def test_journal_serves_cells_across_replay_sources(self, tmp_path):
+        """A cell journaled from a trace-replaying run resumes a live
+        cell of the same spec (and vice versa)."""
+        plain = GridCell("ra", MigrationPolicy.ADAPTIVE, 1.25, "tiny")
+        traced = dataclasses.replace(plain, trace_path="/some/cache/entry")
+        result = run_cell(plain)
+        path = tmp_path / "journal.jsonl"
+        with CheckpointJournal(path) as journal:
+            journal.append(traced, result)
+        cached = CheckpointJournal(path).load()
+        assert cell_key(plain) in cached
+        assert cached[cell_key(plain)].total_cycles == result.total_cycles
+
+
+class TestFastPathMetrics:
+    def test_hit_rate_rollup_exported(self):
+        obs = Observability(metrics=MetricsRegistry())
+        cfg = SimulationConfig().with_policy(MigrationPolicy.ADAPTIVE)
+        Simulator(cfg).run(make_workload("ra", "tiny"),
+                           oversubscription=0.5, obs=obs)
+        snap = obs.metrics.as_dict()
+        assert "driver.fast_path_hit_rate" in snap
+        waves = snap["driver.waves"]["value"]
+        hits = snap["driver.fast_path_waves"]["value"]
+        assert waves > 0 and 0 <= hits <= waves
+        assert snap["driver.fast_path_hit_rate"]["value"] == \
+            pytest.approx(hits / waves)

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.obs.regress import (
+    GATED_METRICS,
     append_history,
     check_regression,
     fingerprint,
@@ -117,7 +118,7 @@ class TestCheckRegression:
         report = check_regression([_report()], candidate=_report())
         payload = json.loads(json.dumps(report.as_dict()))
         assert payload["ok"] is True
-        assert len(payload["findings"]) == 3
+        assert len(payload["findings"]) == len(GATED_METRICS)
 
 
 class TestCheckRegressionCli:
