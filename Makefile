@@ -2,14 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-perf check-regression \
-	figures examples check-docs clean
+.PHONY: install test test-accel bench bench-smoke bench-perf \
+	check-regression figures examples check-docs clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Same suite on the compiled hot-loop backend.  Without numba the
+# backend falls back (with a warning) to bit-identical pure python;
+# REPRO_ACCEL_INTERPRET=1 would force the loop kernels interpreted.
+test-accel:
+	REPRO_BACKEND=numba $(PYTHON) -m pytest tests/
 
 test-logged:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -41,6 +41,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.accel import NUMBA_VERSION, resolve_backend  # noqa: E402
 from repro.analysis import (  # noqa: E402
     GridCell,
     GridOptions,
@@ -48,7 +49,12 @@ from repro.analysis import (  # noqa: E402
     oversubscription_sweep,
     run_grid,
 )
-from repro.config import MigrationPolicy, SimulationConfig  # noqa: E402
+from repro.config import (  # noqa: E402
+    KNOWN_BACKENDS,
+    MigrationPolicy,
+    SimulationConfig,
+    default_backend,
+)
 from repro.memory.allocator import VirtualAddressSpace  # noqa: E402
 from repro.memory.layout import MB  # noqa: E402
 from repro.obs.store import git_info  # noqa: E402
@@ -82,7 +88,8 @@ def _timed(fn, repeats: int) -> tuple[float, float, object]:
     return best_wall, best_cpu, result
 
 
-def measure_throughput(scale: str, repeats: int) -> dict:
+def measure_throughput(scale: str, repeats: int,
+                       backend: str | None = None) -> dict:
     """Simulated accesses/second over the fixed throughput cells.
 
     The headline ``accesses_per_second`` runs the grid over a shared
@@ -92,7 +99,8 @@ def measure_throughput(scale: str, repeats: int) -> dict:
     timed region.  The ``live_*`` numbers keep the regenerate-per-cell
     semantics for comparison, and ``replay_speedup`` is the ratio.
     """
-    cells = [GridCell(w, MigrationPolicy.ADAPTIVE, level, scale)
+    cells = [GridCell(w, MigrationPolicy.ADAPTIVE, level, scale,
+                      backend=backend)
              for w, level in THROUGHPUT_CELLS]
     live_wall, live_cpu, live_results = _timed(lambda: run_grid(cells),
                                                repeats)
@@ -120,7 +128,7 @@ def measure_throughput(scale: str, repeats: int) -> dict:
     }
 
 
-def measure_fast_path(repeats: int) -> dict:
+def measure_fast_path(repeats: int, backend: str | None = None) -> dict:
     """Steady-state resident-wave microbench: the fast path's home regime.
 
     Builds a driver whose capacity covers the whole footprint, warms the
@@ -135,6 +143,8 @@ def measure_fast_path(repeats: int) -> dict:
     data = vas.malloc_managed("bench.fastpath", size_mb * MB)
     cfg = SimulationConfig().with_policy(MigrationPolicy.DISABLED)
     cfg = cfg.with_device_capacity(2 * size_mb * MB)
+    if backend is not None:
+        cfg = cfg.replace(backend=backend)
     rng = np.random.default_rng(7)
     waves = []
     for _ in range(n_waves):
@@ -236,7 +246,13 @@ def measure_batched_vs_scalar(scale: str, repeats: int) -> dict:
     }
 
 
-def run(scale: str, repeats: int, jobs: int) -> dict:
+def run(scale: str, repeats: int, jobs: int,
+        backend: str | None = None) -> dict:
+    # Resolve once up front: prints the one-line fallback warning when
+    # numba was requested but is not importable, and gives the report
+    # the *active* backend (the one the numbers were measured with).
+    requested = backend if backend is not None else default_backend()
+    active = resolve_backend(requested).name
     report = {
         "schema_version": 2,
         "generated": datetime.datetime.now(datetime.timezone.utc)
@@ -247,10 +263,17 @@ def run(scale: str, repeats: int, jobs: int) -> dict:
             "machine": platform.machine(),
             "cpus": os.cpu_count(),
         },
-        "throughput": measure_throughput(scale, repeats),
+        # The backend field joins the regression-gate fingerprint:
+        # compiled and pure-python numbers never baseline each other.
+        "backend": {
+            "requested": requested,
+            "active": active,
+            "numba": NUMBA_VERSION,
+        },
+        "throughput": measure_throughput(scale, repeats, backend=backend),
         "sweep_grid": measure_sweep(scale, repeats, jobs),
         "batched_vs_scalar": measure_batched_vs_scalar(scale, repeats),
-        "fast_path": measure_fast_path(repeats),
+        "fast_path": measure_fast_path(repeats, backend=backend),
     }
     return report
 
@@ -268,6 +291,11 @@ def main(argv=None) -> int:
     ap.add_argument("--jobs", type=int, default=1,
                     help="worker processes for the parallel sweep "
                          "measurement (0 = one per CPU, 1 = skip)")
+    ap.add_argument("--backend", default=None, choices=KNOWN_BACKENDS,
+                    help="hot-loop kernel backend for the throughput and "
+                         "fast-path sections (default: $REPRO_BACKEND or "
+                         "python; 'numba' warns and falls back to python "
+                         "when numba is not installed)")
     ap.add_argument("--out", default=str(DEFAULT_OUT),
                     help="output JSON path (default: BENCH_driver.json "
                          "at the repo root)")
@@ -280,7 +308,7 @@ def main(argv=None) -> int:
     scale = args.scale or ("tiny" if args.quick else "small")
     repeats = args.repeats or (1 if args.quick else 5)
 
-    report = run(scale, repeats, args.jobs)
+    report = run(scale, repeats, args.jobs, backend=args.backend)
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     if not args.no_history:
@@ -288,6 +316,10 @@ def main(argv=None) -> int:
         with history.open("a") as fh:
             fh.write(json.dumps(report, sort_keys=True) + "\n")
 
+    be = report["backend"]
+    numba_note = f", numba {be['numba']}" if be["numba"] else ""
+    print(f"backend: {be['active']} (requested {be['requested']}"
+          f"{numba_note})")
     tp = report["throughput"]
     sg = report["sweep_grid"]
     bs = report["batched_vs_scalar"]

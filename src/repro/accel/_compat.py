@@ -1,0 +1,55 @@
+"""Numba detection and the ``njit`` shim the compiled backend builds on.
+
+The ``accel`` package must import cleanly on machines without numba
+(the base install ships pure python/numpy only; numba arrives via the
+``repro[accel]`` extra).  This module centralizes the probe so every
+other accel module can ask one question -- ``HAS_NUMBA`` -- and use one
+decorator -- ``njit`` -- that degrades to the identity function when the
+compiler is absent.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Whether numba imported successfully in this process.
+HAS_NUMBA: bool
+#: ``numba.__version__`` when importable, else ``None`` (recorded in
+#: bench reports so perf history stays comparable across hosts).
+NUMBA_VERSION: str | None
+
+#: Set (via ``REPRO_ACCEL_INTERPRET=1``) to keep the loop kernels
+#: undecorated even when numba is installed: they then run as plain
+#: python loops.  This is how the property tests exercise the exact
+#: code the compiled backend runs on hosts without numba, and a handy
+#: escape hatch when debugging a kernel under pdb.
+INTERPRET_ENV: bool = os.environ.get(
+    "REPRO_ACCEL_INTERPRET", "").strip() not in ("", "0")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAS_NUMBA = True
+    NUMBA_VERSION = numba.__version__
+except ImportError:
+    HAS_NUMBA = False
+    NUMBA_VERSION = None
+
+
+def njit(*args, **kwargs):
+    """``numba.njit`` when compiling, identity decorator otherwise.
+
+    Kernels are compiled only when numba is importable and
+    ``REPRO_ACCEL_INTERPRET`` is unset; in every other case the
+    decorated function is returned unchanged, so the loop bodies below
+    stay importable, debuggable and property-testable everywhere.
+    """
+    if HAS_NUMBA and not INTERPRET_ENV:  # pragma: no cover - needs numba
+        return numba.njit(*args, **kwargs)
+    if args and callable(args[0]) and not kwargs:
+        return args[0]
+
+    def decorate(fn):
+        return fn
+
+    return decorate

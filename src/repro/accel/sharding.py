@@ -1,0 +1,71 @@
+"""Intra-run address-space sharding for the per-wave decision phase.
+
+``--shards N`` partitions the basic-block address space into N
+contiguous, chunk-aligned ranges -- the same block-range decomposition
+:mod:`repro.multigpu.cluster` uses to split chunks across GPUs, except
+contiguous rather than round-robin so a *sorted* wave splits with two
+``searchsorted`` cuts instead of a gather per shard.
+
+Only the stateless per-wave decision work is sharded: the policy's
+``(threshold, baseline)`` gathers and the migrate/remote partition are
+elementwise per block, so evaluating them per shard and concatenating
+in shard order is bit-identical to the unsharded arrays by
+construction.  Everything globally coupled -- the migration drain,
+eviction, device occupancy, counter halving -- stays unsharded, which
+is what keeps ``--shards 1`` ≡ ``--shards N`` exact (property-tested)
+rather than approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous chunk-aligned partition of the block address space."""
+
+    #: Interior shard boundaries (ascending block ids, chunk-aligned);
+    #: shard ``i`` covers ``[boundaries[i-1], boundaries[i])``.
+    boundaries: np.ndarray
+    total_blocks: int
+
+    @property
+    def n_shards(self) -> int:
+        """Number of (possibly uneven) shards in the plan."""
+        return self.boundaries.size + 1
+
+    def split(self, sorted_blocks: np.ndarray) -> list[tuple[int, int]]:
+        """Slice bounds of each shard's run inside a sorted block array.
+
+        Returns ``n_shards`` ``(lo, hi)`` pairs covering
+        ``sorted_blocks`` exactly, in shard (= block) order; empty
+        shards yield ``lo == hi``.
+        """
+        cuts = np.searchsorted(sorted_blocks, self.boundaries).tolist()
+        edges = [0] + cuts + [sorted_blocks.size]
+        return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+def make_shard_plan(chunk_first_blocks: np.ndarray, total_blocks: int,
+                    n_shards: int) -> ShardPlan:
+    """Split ``total_blocks`` into up to ``n_shards`` chunk-aligned ranges.
+
+    Ideal equal-size cut points are snapped to the nearest following
+    chunk start (a 2MB chunk is the eviction and prefetch-tree unit, so
+    shard edges never split a chunk's tree).  Duplicate or degenerate
+    boundaries collapse, so tiny address spaces get fewer effective
+    shards rather than empty busywork.
+    """
+    if n_shards < 1:
+        raise ValueError("shard count must be >= 1")
+    firsts = np.asarray(chunk_first_blocks, dtype=np.int64)
+    ideal = (np.arange(1, n_shards, dtype=np.int64) * total_blocks
+             ) // n_shards
+    snapped = firsts[np.minimum(
+        np.searchsorted(firsts, ideal), firsts.size - 1)]
+    interior = np.unique(snapped)
+    interior = interior[(interior > 0) & (interior < total_blocks)]
+    return ShardPlan(boundaries=interior, total_blocks=int(total_blocks))

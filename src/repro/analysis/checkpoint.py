@@ -73,16 +73,25 @@ def _known_fields(cls, data: dict) -> dict:
     return {k: v for k, v in data.items() if k in names}
 
 
+#: GridCell fields that are pure performance hints: they never change
+#: results (property-tested bit-identical), so they are excluded from
+#: the cell's checkpoint identity and a journal entry is shared across
+#: replay sources, kernel backends, and shard counts.
+_PERF_HINT_FIELDS = ("trace_path", "backend", "shards")
+
+
 def cell_key(cell) -> str:
     """Canonical string key of a grid cell (any dataclass spec).
 
-    ``trace_path`` is excluded: replaying a recorded trace is a pure
-    performance hint that produces bit-identical results, so a cached
-    journal entry must be shared between live and replayed runs of the
-    same cell (and between hosts with different cache directories).
+    Performance hints (``trace_path``, ``backend``, ``shards``) are
+    excluded: each produces bit-identical results, so a cached journal
+    entry must be shared between live and replayed runs of the same
+    cell, between kernel backends, and between hosts with different
+    cache directories.
     """
     data = _encode(cell)
-    data.pop("trace_path", None)
+    for name in _PERF_HINT_FIELDS:
+        data.pop(name, None)
     return json.dumps(data, sort_keys=True)
 
 
@@ -177,8 +186,9 @@ class CheckpointJournal:
                 try:
                     record = json.loads(line)
                     cell = record["cell"]
-                    # Mirror cell_key(): replay hints are not identity.
-                    cell.pop("trace_path", None)
+                    # Mirror cell_key(): perf hints are not identity.
+                    for name in _PERF_HINT_FIELDS:
+                        cell.pop(name, None)
                     key = json.dumps(cell, sort_keys=True)
                     entries[key] = decode_result(record["result"])
                 except (json.JSONDecodeError, KeyError, TypeError,
@@ -194,8 +204,9 @@ class CheckpointJournal:
                 os.makedirs(parent, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
         encoded_cell = _encode(cell)
-        # Journals are replay-source-agnostic (see cell_key).
-        encoded_cell.pop("trace_path", None)
+        # Journals are replay-source/backend-agnostic (see cell_key).
+        for name in _PERF_HINT_FIELDS:
+            encoded_cell.pop(name, None)
         record = {"cell": encoded_cell, "result": encode_result(result)}
         self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()

@@ -106,17 +106,28 @@ def run_single(workload: str, policy: MigrationPolicy,
                transfer_fault_rate: float = 0.0,
                migration_fault_rate: float = 0.0,
                fault_retries: int = 3,
-               trace_path: str | None = None) -> RunResult:
+               trace_path: str | None = None,
+               backend: str | None = None,
+               shards: int | None = None) -> RunResult:
     """Run one (workload, policy, oversubscription) cell.
 
     ``trace_path`` replays a recorded trace of the same
     ``(workload, scale, seed)`` stream instead of regenerating it --
     bit-identical results, but the (often dominant) wave-generation cost
     is paid once at record time instead of per cell.
+
+    ``backend`` / ``shards`` select the hot-loop kernel backend and the
+    decision-phase shard count (:mod:`repro.accel`); ``None`` inherits
+    the config default (which honours ``REPRO_BACKEND``).  Both are
+    pure performance knobs with bit-identical results.
     """
     cfg = SimulationConfig(seed=seed,
                            collect_page_histogram=collect_histogram,
                            collect_access_trace=collect_trace)
+    if backend is not None:
+        cfg = cfg.replace(backend=backend)
+    if shards is not None:
+        cfg = cfg.replace(shards=shards)
     cfg = cfg.with_policy(policy, static_threshold=ts, migration_penalty=p)
     if transfer_fault_rate or migration_fault_rate:
         cfg = cfg.with_faults(transfer_fault_rate=transfer_fault_rate,

@@ -61,12 +61,29 @@ from .sim.simulator import Simulator
 from .workloads import SCALES, make_workload, workload_names
 
 
+def _apply_backend(cfg: SimulationConfig, args) -> SimulationConfig:
+    """Fold the ``--backend`` / ``--shards`` flags into ``cfg``.
+
+    Both default to ``None`` meaning *inherit*: the config's own
+    defaults already honour the ``REPRO_BACKEND`` environment variable,
+    so only an explicit flag overrides.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        cfg = cfg.replace(backend=backend)
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        cfg = cfg.replace(shards=shards)
+    return cfg
+
+
 def _build_config(args) -> SimulationConfig:
     cfg = SimulationConfig(
         seed=args.seed,
         collect_page_histogram=getattr(args, "histogram", False),
         debug_invariants=getattr(args, "debug_invariants", False),
     )
+    cfg = _apply_backend(cfg, args)
     cfg = cfg.with_policy(MigrationPolicy(args.policy),
                           static_threshold=args.ts,
                           migration_penalty=args.penalty)
@@ -114,7 +131,9 @@ def _grid_options(args):
                            resume=args.resume,
                            metrics=registry,
                            archive=store,
-                           trace_cache=getattr(args, "trace_cache", None))
+                           trace_cache=getattr(args, "trace_cache", None),
+                           backend=getattr(args, "backend", None),
+                           shards=getattr(args, "shards", None))
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}") from None
 
@@ -244,7 +263,8 @@ def cmd_run(args) -> int:
 def cmd_compare(args) -> int:
     results = {}
     for pol in MigrationPolicy:
-        cfg = SimulationConfig(seed=args.seed).with_policy(
+        cfg = _apply_backend(SimulationConfig(seed=args.seed), args)
+        cfg = cfg.with_policy(
             pol, static_threshold=args.ts, migration_penalty=args.penalty)
         wl = _make_workload(args.workload, args.scale)
         results[pol] = Simulator(cfg).run(wl, oversubscription=args.oversub)
@@ -475,10 +495,24 @@ def _add_sim_args(p, with_oversub=True) -> None:
     p.add_argument("--debug-invariants", action="store_true",
                    help="check residency/capacity accounting after "
                         "every wave (slow; for debugging)")
+    _add_backend_args(p)
     if with_oversub:
         p.add_argument("--oversub", type=float, default=1.25,
                        help="working set as a fraction of device memory "
                             "(1.25 = 125%% oversubscription)")
+
+
+def _add_backend_args(p) -> None:
+    """Kernel-backend flags shared by simulation and grid commands."""
+    from .config import KNOWN_BACKENDS
+    p.add_argument("--backend", default=None, choices=KNOWN_BACKENDS,
+                   help="hot-loop kernel backend (default: $REPRO_BACKEND "
+                        "or python; 'numba' falls back to python with a "
+                        "warning when numba is not installed)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="partition the block address space into N "
+                        "contiguous shards for the per-wave decision "
+                        "phase (bit-identical for any N; default 1)")
 
 
 def _add_obs_args(p) -> None:
@@ -538,6 +572,7 @@ def _add_grid_args(p) -> None:
                         "replay it memory-mapped in every grid cell "
                         "(bit-identical results, much less per-cell "
                         "generation work)")
+    _add_backend_args(p)
     _add_runs_arg(p)
 
 

@@ -11,9 +11,26 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import os
 from dataclasses import dataclass, field
 
 from .memory.layout import BASIC_BLOCK_SIZE, CHUNK_SIZE, GB, MB, PAGE_SIZE
+
+#: Backends the driver's hot-loop kernels can run on (see repro.accel).
+KNOWN_BACKENDS: tuple[str, ...] = ("python", "numba")
+
+
+def default_backend() -> str:
+    """Backend selected by ``REPRO_BACKEND`` (``python`` when unset).
+
+    This is the dataclass default of :class:`SimulationConfig.backend`,
+    so the environment variable reaches every config built without an
+    explicit backend -- including the whole test suite, which is how CI
+    runs the same tests under both backends.  Values are not validated
+    here; :meth:`SimulationConfig.validate` rejects unknown names with
+    an actionable message.
+    """
+    return os.environ.get("REPRO_BACKEND", "").strip().lower() or "python"
 
 
 class MigrationPolicy(enum.Enum):
@@ -310,6 +327,15 @@ class SimulationConfig:
     #: catches residency/device-ledger drift at the wave that caused it).
     debug_invariants: bool = False
     seed: int = 0
+    #: Hot-loop kernel backend: ``python`` (numpy reference, the
+    #: bit-identity baseline) or ``numba`` (compiled loop kernels from
+    #: :mod:`repro.accel`, falling back to python with a warning when
+    #: numba is not installed).  Defaults to ``$REPRO_BACKEND``.
+    backend: str = field(default_factory=default_backend)
+    #: Contiguous chunk-aligned shards the per-wave decision phase is
+    #: partitioned into (1 = unsharded).  Results are bit-identical for
+    #: any shard count; see :mod:`repro.accel.sharding`.
+    shards: int = 1
 
     def replace(self, **kwargs) -> "SimulationConfig":
         """Return a copy with top-level fields replaced."""
@@ -344,6 +370,12 @@ class SimulationConfig:
                 f"memory: device_capacity {self.memory.device_capacity} is "
                 f"below one eviction unit ({min_capacity}); nothing could "
                 "ever be resident")
+        if self.backend not in KNOWN_BACKENDS:
+            errors.append(
+                f"backend: unknown backend {self.backend!r}; choose from "
+                f"{KNOWN_BACKENDS} (set via --backend or REPRO_BACKEND)")
+        if self.shards < 1:
+            errors.append(f"shards: must be >= 1, got {self.shards}")
         if errors:
             raise ValueError(
                 "invalid SimulationConfig:\n  - " + "\n  - ".join(errors))

@@ -52,10 +52,14 @@ class GpuExecutionEngine:
         wave_cycles = self.timing.wave_cycles
         merge_timing = self.total_timing.merge
         merge_events = self.total_events.merge
+        # The global clock advances once per wave; accumulate in a local
+        # and publish back to the attribute once per launch (every
+        # in-loop consumer below reads the local).
+        cycle = self.cycle
         for wave in launch.waves():
             if collector is not None:
                 collector.on_wave(launch.name, launch.iteration,
-                                  self.cycle, wave.pages, wave.is_write,
+                                  cycle, wave.pages, wave.is_write,
                                   wave.counts)
             if prof is not None:
                 with prof.span("wave"):
@@ -67,7 +71,7 @@ class GpuExecutionEngine:
             t = wave_cycles(outcome, wave.compute_cycles)
             merge_timing(t)
             merge_events(outcome)
-            self.cycle += t.total
+            cycle += t.total
             kernel_cycles += t.total
             kernel_accesses += outcome.n_accesses
             if self._m_wave_cycles is not None:
@@ -75,18 +79,19 @@ class GpuExecutionEngine:
                 # Link pressure proxy: blocks queued on PCIe this wave
                 # (h2d migrations + prefetches + d2h write-backs).
                 self._m_queue.append(
-                    self.cycle,
+                    cycle,
                     outcome.h2d_blocks + outcome.writeback_blocks)
                 self._m_occupancy.append(
-                    self.cycle,
+                    cycle,
                     self.driver.device.used_blocks
                     / self.driver.device.capacity_blocks)
             if collector is not None:
                 collector.on_timeline(
-                    self.cycle, self.driver.device.used_blocks,
+                    cycle, self.driver.device.used_blocks,
                     self.driver.device.capacity_blocks,
                     self.total_events.fault_events,
                     self.total_events.thrash_migrations)
+        self.cycle = cycle
         if collector is not None:
             collector.on_kernel_end(launch.name, kernel_cycles,
                                     kernel_accesses)

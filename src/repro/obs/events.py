@@ -52,6 +52,11 @@ class RunMeta(Event):
     total_blocks: int
     capacity_blocks: int
     allocations: tuple[tuple[str, int, int], ...]
+    #: Active hot-loop kernel backend (``repro.accel``); defaulted so
+    #: logs archived before the field existed keep replaying.
+    backend: str = "python"
+    #: Address-space shard count the decision phase ran over.
+    shards: int = 1
 
 
 @dataclass(frozen=True, slots=True)

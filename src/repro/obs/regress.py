@@ -32,6 +32,10 @@ GATED_METRICS: dict[str, str] = {
     # Absent from pre-fast-path history entries, so those skip cleanly.
     "fast_path.steady_state_accesses_per_second": "higher",
     "fast_path.hit_rate": "higher",
+    # Live (non-replay) single-cell wave generation + simulation
+    # throughput: the number the compiled-backend work drives toward
+    # the replay ceiling.  Absent from older history entries.
+    "throughput.live_accesses_per_second": "higher",
 }
 
 #: Default trailing-window length and relative tolerance.
@@ -50,10 +54,17 @@ def lookup(report: dict, path: str):
 
 
 def fingerprint(report: dict) -> tuple:
-    """What makes two bench reports comparable: scale + host."""
+    """What makes two bench reports comparable: scale + host + backend.
+
+    The *active* kernel backend is part of comparability: numba-compiled
+    and pure-python numbers differ by design, so one must never baseline
+    the other.  Reports predating the backend field default to
+    ``python`` (the only backend that existed then).
+    """
     host = report.get("host") or {}
     return (lookup(report, "throughput.scale"),
-            host.get("machine"), host.get("cpus"))
+            host.get("machine"), host.get("cpus"),
+            lookup(report, "backend.active") or "python")
 
 
 def load_history(path) -> list[dict]:

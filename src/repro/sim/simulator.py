@@ -73,7 +73,9 @@ class Simulator:
                 capacity_blocks=driver.device.capacity_blocks,
                 allocations=tuple(
                     (a.name, a.first_block, a.first_block + a.num_blocks)
-                    for a in vas.allocations)))
+                    for a in vas.allocations),
+                backend=driver.backend_name,
+                shards=driver.shards))
         pcie = PcieModel(config.interconnect, config.gpu)
         timing = TimingModel(config, pcie)
         collector = None
@@ -103,6 +105,11 @@ class Simulator:
             obs.metrics.counter("driver.fast_path_waves").inc(
                 driver.stats.fast_path_waves)
             obs.metrics.counter("driver.waves").inc(driver.stats.waves)
+            # Which kernel backend actually ran (after any numba
+            # fallback) and the decision-phase shard count.
+            obs.metrics.counter(
+                f"driver.backend.{driver.backend_name}").inc()
+            obs.metrics.gauge("driver.shards").set(float(driver.shards))
 
         return RunResult(
             workload=workload.name,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel import kernels as _py_kernels
 from ..obs.events import CounterHalving
 
 
@@ -24,13 +25,18 @@ class AccessCounterFile:
     :class:`~repro.obs.events.CounterHalving` event (halvings are rare
     and change the relative hotness resolution, so they are worth
     tracing when debugging threshold behaviour).
+
+    ``kernels`` selects the backend namespace for the bulk array ops
+    (scatter-adds and saturation halving); the default is the numpy
+    reference implementation.  See :mod:`repro.accel`.
     """
 
     def __init__(self, total_blocks: int, counter_bits: int = 27,
-                 roundtrip_bits: int = 5, bus=None) -> None:
+                 roundtrip_bits: int = 5, bus=None, kernels=None) -> None:
         if total_blocks <= 0:
             raise ValueError("need at least one basic block")
         self.bus = bus
+        self._kern = kernels if kernels is not None else _py_kernels
         if counter_bits + roundtrip_bits != 32:
             raise ValueError("counter register must total 32 bits")
         self.counter_max = np.int64((1 << counter_bits) - 1)
@@ -77,11 +83,35 @@ class AccessCounterFile:
         Saturation of any block halves the access-count field of *all*
         blocks, as described in the paper.
         """
-        np.add.at(self._counts, blocks, amounts.astype(np.int64, copy=False))
+        self._kern.scatter_add(self._counts, blocks,
+                               amounts.astype(np.int64, copy=False))
+        self._halve_saturated_counts(blocks)
+
+    def add_accesses_sharded(self, blocks: np.ndarray, amounts: np.ndarray,
+                             splits: list[tuple[int, int]]) -> None:
+        """Sharded :meth:`add_accesses` over a sorted, pre-split wave.
+
+        Each ``(lo, hi)`` slice is scatter-added independently (the
+        per-shard work of ``--shards N``); the saturation check then
+        runs once over the whole update.  Bit-identical to the
+        unsharded add: the slices partition ``blocks``, so the summed
+        counts are the same, and halving commutes with the split
+        because ``max`` over the union equals the max of per-slice
+        maxima.
+        """
+        amounts = amounts.astype(np.int64, copy=False)
+        for lo, hi in splits:
+            if hi > lo:
+                self._kern.scatter_add(self._counts, blocks[lo:hi],
+                                       amounts[lo:hi])
+        self._halve_saturated_counts(blocks)
+
+    def _halve_saturated_counts(self, blocks: np.ndarray) -> None:
         # Only just-updated blocks can newly saturate (counts never grow
         # elsewhere), so the check scans the update, not the whole file.
-        while self._counts[blocks].max(initial=np.int64(0)) >= self.counter_max:
-            self._counts >>= 1
+        n = self._kern.halve_while_ge(self._counts, blocks,
+                                      self.counter_max)
+        for _ in range(n):
             self.count_halvings += 1
             if self.bus is not None and self.bus.enabled:
                 self.bus.emit(CounterHalving(wave=self.bus.wave,
@@ -89,11 +119,12 @@ class AccessCounterFile:
                                              halvings=self.count_halvings))
 
     def add_roundtrip(self, blocks: np.ndarray) -> None:
-        """Record an eviction round trip for each block in ``blocks``."""
-        self._roundtrips[blocks] += 1
+        """Record an eviction round trip for each *distinct* block."""
+        self._kern.increment(self._roundtrips, blocks)
         self.has_roundtrips = True
-        while self._roundtrips[blocks].max(initial=np.int64(0)) > self.roundtrip_max:
-            self._roundtrips >>= 1
+        n = self._kern.halve_while_gt(self._roundtrips, blocks,
+                                      self.roundtrip_max)
+        for _ in range(n):
             self.roundtrip_halvings += 1
             if self.bus is not None and self.bus.enabled:
                 self.bus.emit(CounterHalving(
@@ -103,11 +134,11 @@ class AccessCounterFile:
     def add_remote_accesses(self, blocks: np.ndarray,
                             amounts: np.ndarray) -> None:
         """Accumulate the Volta-style remote-access counters."""
-        np.add.at(self.volta_counts, blocks, amounts)
+        self._kern.scatter_add(self.volta_counts, blocks, amounts)
 
     def reset_volta(self, blocks: np.ndarray) -> None:
         """Reset hardware counters when blocks migrate to the device."""
-        self.volta_counts[blocks] = 0
+        self._kern.fill_zero(self.volta_counts, blocks)
 
     def chunk_heat(self, first_block: int, num_blocks: int) -> int:
         """Aggregate access count of one chunk (LFU victim ordering key)."""

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..accel import resolve_backend
+from ..accel.sharding import make_shard_plan
 from ..config import EvictionGranularity, SimulationConfig
 from ..memory.advice import Advice
 from ..core.policy import DecisionPolicy, make_policy
@@ -145,6 +147,12 @@ class UvmDriver:
         self.obs = obs
         self._bus = obs.bus if obs is not None else None
         self._prof = obs.profiler if obs is not None else None
+        #: Resolved hot-loop kernel backend (``repro.accel``).  The
+        #: resolved name may differ from ``config.backend`` when numba
+        #: was requested but is not importable (warned once, falls back
+        #: to the numpy reference kernels).
+        self.accel = resolve_backend(config.backend)
+        self._kern = self.accel.kernels
         total_blocks = vas.total_blocks
         self.residency = ResidencyMap(total_blocks)
         self.host = HostMemory(total_blocks)
@@ -154,11 +162,21 @@ class UvmDriver:
             counter_bits=config.policy.counter_bits,
             roundtrip_bits=config.policy.roundtrip_bits,
             bus=self._bus,
+            kernels=self._kern,
         )
         self.directory = ChunkDirectory(vas.chunks, total_blocks)
         self.trees: list[PrefetchTree] = [
-            PrefetchTree(span.num_blocks) for span in vas.chunks
+            PrefetchTree(span.num_blocks, kernels=self._kern)
+            for span in vas.chunks
         ]
+        #: Chunk-aligned partition of the block address space for
+        #: ``--shards N`` (None = unsharded).  Only the stateless
+        #: per-wave decision/accounting phase is sharded; results are
+        #: bit-identical for any shard count (property-tested).
+        self._shard_plan = (
+            make_shard_plan(self.directory.first_block, total_blocks,
+                            config.shards)
+            if config.shards > 1 else None)
         #: Whether a block has ever been device-resident (drives the
         #: per-block arming of the Oversub scheme's soft-pinning).
         self.ever_migrated = np.zeros(total_blocks, dtype=bool)
@@ -249,7 +267,8 @@ class UvmDriver:
         # Duplicate block/chunk ids are harmless to each of those updates,
         # so the grouping pass is skipped entirely; outcomes and driver
         # state are bit-identical to the full pipeline (property-tested).
-        if self.resident_fast_path and bool(self.residency.resident[blocks].all()):
+        if self.resident_fast_path and self._kern.resident_all(
+                self.residency.resident, blocks):
             out.n_local = out.n_accesses
             wb = blocks[is_write]
             if wb.size:
@@ -278,11 +297,8 @@ class UvmDriver:
             sorted_blocks = blocks[order]
             sorted_counts = counts[order]
             sorted_w = (counts * is_write)[order]
-        starts = np.flatnonzero(
-            np.concatenate(([True], sorted_blocks[1:] != sorted_blocks[:-1])))
-        ublocks = sorted_blocks[starts]
-        totals = np.add.reduceat(sorted_counts, starts)
-        w_counts = np.add.reduceat(sorted_w, starts)
+        ublocks, totals, w_counts = self._kern.group_sorted(
+            sorted_blocks, sorted_counts, sorted_w)
 
         # LRU touch + warp pinning for every addressed chunk.  The chunk
         # ids of sorted unique blocks are non-decreasing (chunks are laid
@@ -311,7 +327,11 @@ class UvmDriver:
                                       pinned, out)
 
         # Historic counters track local and remote accesses alike (Sec. IV).
-        self.counters.add_accesses(ublocks, totals)
+        if self._shard_plan is not None:
+            self.counters.add_accesses_sharded(
+                ublocks, totals, self._shard_plan.split(ublocks))
+        else:
+            self.counters.add_accesses(ublocks, totals)
 
         self.stats.waves += 1
         self.stats.totals.merge(out)
@@ -330,23 +350,37 @@ class UvmDriver:
         baselines, and the migrate/remote partition falls out of a
         single vectorized comparison.  Per-block observability events
         are materialized only when an event sink is actually attached.
+
+        With ``--shards N`` the decision state and migrate mask are
+        evaluated per contiguous block-range shard (``nrb`` is sorted,
+        so each shard is a slice) and concatenated in shard order.
+        Thresholds, baselines, and the decide comparison are all
+        elementwise per block, so the merged arrays are bit-identical
+        to the unsharded ones; the globally-coupled tail (fault
+        injection, drain, eviction) always runs unsharded.
         """
-        td, c0 = self.policy.decision_state(nrb, self)
-        td = np.asarray(td, dtype=np.int64)
-        c0 = np.asarray(c0, dtype=np.int64)
-
-        # Programmer hints override the policy (Section III-C).  Whether
-        # any hint exists at all is precomputed at construction, so the
-        # unhinted common case pays no per-wave gather.
-        if self._has_preferred:
-            preferred = self.block_preferred_host[nrb]
-            if preferred.any():
-                ts = self.config.policy.static_threshold
-                volta = self.counters.volta_counts[nrb]
-                td = np.where(preferred, np.maximum(td, ts), td)
-                c0 = np.where(preferred, volta, c0)
-
-        migrate = (c0 + k) >= td
+        plan = self._shard_plan
+        if plan is not None and nrb.size > 1:
+            kern = self._kern
+            td_parts: list[np.ndarray] = []
+            c0_parts: list[np.ndarray] = []
+            mig_parts: list[np.ndarray] = []
+            for lo, hi in plan.split(nrb):
+                if hi == lo:
+                    continue
+                td_i, c0_i = self._decision_state(nrb[lo:hi])
+                td_parts.append(td_i)
+                c0_parts.append(c0_i)
+                mig_parts.append(kern.decide(c0_i, k[lo:hi], td_i))
+            if len(td_parts) == 1:
+                td, c0, migrate = td_parts[0], c0_parts[0], mig_parts[0]
+            else:
+                td = np.concatenate(td_parts)
+                c0 = np.concatenate(c0_parts)
+                migrate = np.concatenate(mig_parts)
+        else:
+            td, c0 = self._decision_state(nrb)
+            migrate = self._kern.decide(c0, k, td)
         if self._has_pinned:
             pinned_host = self.block_pinned_host[nrb]
             if pinned_host.any():
@@ -369,11 +403,7 @@ class UvmDriver:
                                            migrated=m))
 
         # Accesses served remotely before a (possible) migration trigger.
-        if migrate.any():
-            remote_before = np.clip(td - 1 - c0, 0, k - 1)
-            remote = np.where(migrate, remote_before, k)
-        else:
-            remote = k
+        remote = self._kern.remote_counts(migrate, td, c0, k)
         out.n_remote += int(remote.sum())
         # Volta hardware counters see every remote access.
         self.counters.add_remote_accesses(nrb, remote)
@@ -400,6 +430,29 @@ class UvmDriver:
             else:
                 drain(mig, k[migrate], kw[migrate], remote[migrate], pinned,
                       out)
+
+    def _decision_state(self, nrb: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Policy decision state for ``nrb``, with hint overrides applied.
+
+        Factored out of :meth:`_handle_far_accesses` so the sharded path
+        can evaluate it per block-range slice; it is elementwise per
+        block, which is what makes sharding bit-identical.
+        """
+        td, c0 = self.policy.decision_state(nrb, self)
+        td = np.asarray(td, dtype=np.int64)
+        c0 = np.asarray(c0, dtype=np.int64)
+
+        # Programmer hints override the policy (Section III-C).  Whether
+        # any hint exists at all is precomputed at construction, so the
+        # unhinted common case pays no per-wave gather.
+        if self._has_preferred:
+            preferred = self.block_preferred_host[nrb]
+            if preferred.any():
+                ts = self.config.policy.static_threshold
+                volta = self.counters.volta_counts[nrb]
+                td = np.where(preferred, np.maximum(td, ts), td)
+                c0 = np.where(preferred, volta, c0)
+        return td, c0
 
     def _inject_migration_faults(self, nrb: np.ndarray, k: np.ndarray,
                                  c0: np.ndarray, td: np.ndarray,
@@ -718,7 +771,7 @@ class UvmDriver:
             victims = select_victims(
                 self.directory, needed, self.config.memory.replacement,
                 pinned, heat=heat, dirty_any=dirty, never=never,
-                order=order)
+                order=order, kern=self._kern)
         except RuntimeError:
             return False
         block_granular = (self.config.memory.eviction_granularity
@@ -791,6 +844,21 @@ class UvmDriver:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    @property
+    def kernels(self):
+        """The resolved backend kernel namespace (``repro.accel``)."""
+        return self._kern
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the *active* backend (after any fallback)."""
+        return self.accel.name
+
+    @property
+    def shards(self) -> int:
+        """Number of address-space shards the decision phase runs over."""
+        return 1 if self._shard_plan is None else self._shard_plan.n_shards
 
     @property
     def fast_path_hit_rate(self) -> float:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel import kernels as _py_kernels
 from ..config import ReplacementPolicy
 from ..memory.allocation import ChunkSpan
 
@@ -140,7 +141,8 @@ _I64_MAX = np.int64(np.iinfo(np.int64).max)
 def _victim_key(directory: ChunkDirectory,
                 policy: ReplacementPolicy,
                 heat: np.ndarray | None,
-                dirty_any: np.ndarray | None) -> np.ndarray:
+                dirty_any: np.ndarray | None,
+                kern) -> np.ndarray:
     """Per-chunk eviction-ordering key, smallest evicts first.
 
     LFU packs (heat bucket, dirty, last_touch) into one 64-bit composite
@@ -151,8 +153,7 @@ def _victim_key(directory: ChunkDirectory,
     if policy is ReplacementPolicy.LFU:
         if heat is None or dirty_any is None:
             raise ValueError("LFU selection needs heat and dirty information")
-        return ((heat << np.int64(33)) | (dirty_any << np.int64(32))
-                | directory.last_touch)
+        return kern.lfu_key(heat, dirty_any, directory.last_touch)
     return directory.last_touch
 
 
@@ -163,7 +164,8 @@ def select_victims(directory: ChunkDirectory,
                    heat: np.ndarray | None = None,
                    dirty_any: np.ndarray | None = None,
                    never: np.ndarray | None = None,
-                   order: np.ndarray | None = None) -> list[int]:
+                   order: np.ndarray | None = None,
+                   kern=None) -> list[int]:
     """Choose chunks to evict until ``needed_blocks`` frames are freed.
 
     ``pinned`` chunks (addressed by scheduled warps) are avoided but may
@@ -173,11 +175,16 @@ def select_victims(directory: ChunkDirectory,
     driver caches the LRU argsort across a wave); it must match what
     this function would compute from the current metadata.
 
+    ``kern`` selects the backend kernel namespace for the ordering-key
+    and argmin steps (:mod:`repro.accel`; default: numpy reference).
+
     Returns chunk ids in eviction order.  Raises ``RuntimeError`` if even
     evicting everything cannot free enough space (capacity misconfigured).
     """
     if needed_blocks <= 0:
         return []
+    if kern is None:
+        kern = _py_kernels
     occ = directory.occupancy
     populated = occ > 0
     if never is not None:
@@ -190,16 +197,16 @@ def select_victims(directory: ChunkDirectory,
         # victim is an argmin over the ordering key, no sort at all.
         # np.argmin's first-occurrence tie-break matches the stable
         # argsort the general path uses.
-        key = _victim_key(directory, policy, heat, dirty_any)
+        key = _victim_key(directory, policy, heat, dirty_any, kern)
         for tier_mask in (populated & full & ~pinned,
                           populated & ~pinned,
                           populated):
             if tier_mask.any():
-                return [int(np.argmin(np.where(tier_mask, key, _I64_MAX)))]
+                return [int(kern.masked_argmin(key, tier_mask))]
         raise RuntimeError("cannot free 1 block: nothing resident")
 
     if order is None:
-        key = _victim_key(directory, policy, heat, dirty_any)
+        key = _victim_key(directory, policy, heat, dirty_any, kern)
         order = np.argsort(key, kind="stable")
     victims: list[int] = []
     chosen = np.zeros(directory.num_chunks, dtype=bool)

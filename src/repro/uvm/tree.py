@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..accel import kernels as _py_kernels
+
 #: Shared empty result for prefetch-free faults (treated as read-only).
 _NO_PREFETCH: np.ndarray = np.empty(0, dtype=np.int64)
 
@@ -79,14 +81,18 @@ class PrefetchTree:
     """Occupancy tree for one chunk; heap-indexed full binary tree."""
 
     __slots__ = ("num_leaves", "_levels", "_mask", "_tree", "_counts_valid",
-                 "_anc", "_node_mask", "_leaf_submasks")
+                 "_anc", "_node_mask", "_leaf_submasks", "_kern")
 
     #: Per-size lookup tables, shared by every tree of that size.
     _TABLES: dict[int, tuple] = {}
 
-    def __init__(self, num_leaves: int) -> None:
+    def __init__(self, num_leaves: int, kernels=None) -> None:
         if num_leaves < 1 or num_leaves & (num_leaves - 1):
             raise ValueError(f"num_leaves must be a power of two, got {num_leaves}")
+        #: Backend namespace for the bulk install/remove ops (the
+        #: scalar fault walk stays pure python -- it is bitmask
+        #: arithmetic, not array work).  See :mod:`repro.accel`.
+        self._kern = kernels if kernels is not None else _py_kernels
         self.num_leaves = num_leaves
         self._levels = num_leaves.bit_length() - 1
         #: Authoritative leaf residency, bit ``i`` = leaf ``i`` resident.
@@ -161,8 +167,8 @@ class PrefetchTree:
             resident = _bits_ascending(self._mask)
             if resident:
                 leaves = np.array(resident, dtype=np.int64)
-                self._tree[self.num_leaves - 1 + leaves] = 1
-                np.add.at(self._tree, self._anc[leaves].ravel(), 1)
+                self._kern.tree_bulk_set(self._tree, self._anc, leaves,
+                                         self.num_leaves - 1, 1, 1)
             self._counts_valid = True
         return self._tree
 
@@ -183,15 +189,13 @@ class PrefetchTree:
         if leaves.min() < 0 or leaves.max() >= self.num_leaves:
             raise IndexError(
                 f"leaves outside chunk of {self.num_leaves} leaves")
-        bits = 0
-        for leaf in leaves.tolist():
-            bits |= 1 << leaf
+        bits = int(self._kern.leaf_bits(leaves))
         if self._mask & bits:
             raise RuntimeError("bulk install of an already-resident leaf")
         self._mask |= bits
         if self._counts_valid:
-            self._tree[self.num_leaves - 1 + leaves] = 1
-            np.add.at(self._tree, self._anc[leaves].ravel(), 1)
+            self._kern.tree_bulk_set(self._tree, self._anc, leaves,
+                                     self.num_leaves - 1, 1, 1)
 
     def remove_leaves(self, leaves: np.ndarray) -> None:
         """Evict many *distinct* leaves in one pass (bulk :meth:`remove`)."""
@@ -201,15 +205,13 @@ class PrefetchTree:
         if leaves.min() < 0 or leaves.max() >= self.num_leaves:
             raise IndexError(
                 f"leaves outside chunk of {self.num_leaves} leaves")
-        bits = 0
-        for leaf in leaves.tolist():
-            bits |= 1 << leaf
+        bits = int(self._kern.leaf_bits(leaves))
         if (self._mask & bits) != bits:
             raise RuntimeError("bulk removal of a non-resident leaf")
         self._mask ^= bits
         if self._counts_valid:
-            self._tree[self.num_leaves - 1 + leaves] = 0
-            np.add.at(self._tree, self._anc[leaves].ravel(), -1)
+            self._kern.tree_bulk_set(self._tree, self._anc, leaves,
+                                     self.num_leaves - 1, 0, -1)
 
     # -- driver entry points ----------------------------------------------
 

@@ -134,7 +134,8 @@ class WaveBuilder:
                 write: bool) -> "WaveBuilder":
         pages = np.asarray(pages, dtype=np.int64)
         self._pages.append(pages)
-        self._writes.append(np.full(pages.shape, write, dtype=bool))
+        self._writes.append(np.ones(pages.shape, dtype=bool) if write
+                            else np.zeros(pages.shape, dtype=bool))
         c = _broadcast_counts(counts, pages)
         self._counts.append(default_counts(pages.size) if c is None else c)
         return self

@@ -22,7 +22,7 @@ import numpy as np
 
 from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
 from .graphs import CsrGraph, make_graph
-from .util import coalesced_pages, ragged_ranges
+from .util import coalesced_page_offsets, coalesced_pages, ragged_ranges
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,9 @@ class Bfs(Workload):
         p = self.params
         self.graph = make_graph(p.graph_kind, p.num_nodes, p.avg_degree,
                                 rng, skew=p.skew)
+        # Out-degrees are reused by every level of every launch; derive
+        # them once instead of diffing the CSR pointers per kernel.
+        self._deg = self.graph.degrees()
         self._rng = np.random.default_rng(rng.integers(0, 2**63))
         m = self.graph.num_edges
         # Lonestar-style layout: per-node {start, degree} struct, 64-bit
@@ -76,14 +79,26 @@ class Bfs(Workload):
         self.flags = self._register(
             vas.malloc_managed("bfs.flags", p.num_nodes * 4))
 
-    def _level_waves(self, frontier: np.ndarray) -> Iterator[Wave]:
-        """Accesses of one BFS level, chunked into waves."""
-        g, p = self.graph, self.params
-        deg = g.degrees()
+    def _level_waves(self, frontier: np.ndarray, all_eidx: np.ndarray,
+                     all_nbrs: np.ndarray,
+                     bounds: np.ndarray) -> Iterator[Wave]:
+        """Accesses of one BFS level, chunked into waves.
+
+        ``all_eidx``/``all_nbrs`` are the level's full edge gather
+        (computed once by :meth:`kernels`, which also needs it for the
+        traversal itself); ``bounds`` maps frontier positions to edge
+        positions, so each wave's slice is exactly what a per-slice
+        ``ragged_ranges`` would have produced.
+        """
+        p = self.params
         for c0 in range(0, frontier.size, p.frontier_per_wave):
-            f = frontier[c0:c0 + p.frontier_per_wave]
-            eidx = ragged_ranges(g.ptr[f], deg[f])
-            nbrs = g.dst[eidx].astype(np.int64)
+            c1 = min(c0 + p.frontier_per_wave, frontier.size)
+            # Both frontier-indexed reads coalesce the same node set at
+            # different strides; pre-sorting once lets each call skip
+            # its internal sort (the sector sets are unchanged).
+            f = np.sort(frontier[c0:c1])
+            eidx = all_eidx[bounds[c0]:bounds[c1]]
+            nbrs = all_nbrs[bounds[c0]:bounds[c1]]
             wb = WaveBuilder()
             np_pages, np_counts = coalesced_pages(self.nodes, f * 8)
             wb.read(np_pages, np_counts)
@@ -92,26 +107,37 @@ class Bfs(Workload):
             if eidx.size:
                 ep, ec = coalesced_pages(self.edges, eidx * 8)
                 wb.read(ep, ec)
-                cp, cc = coalesced_pages(self.cost, nbrs * 4)
-                wb.write(cp, cc)
-                gp, gc = coalesced_pages(self.flags, nbrs * 4)
-                wb.write(gp, gc)
+                # cost and flags are parallel 4-byte-per-node arrays, so
+                # the scattered neighbor writes land on the same page
+                # offsets in both: coalesce once, rebase twice.
+                rel, rc = coalesced_page_offsets(nbrs * 4)
+                wb.write(self.cost.first_page + rel, rc)
+                wb.write(self.flags.first_page + rel, rc)
             yield wb.build(compute_per_access=p.compute_per_access)
 
     def kernels(self) -> Iterator[KernelLaunch]:
         g = self.graph
-        deg = g.degrees()
+        deg = self._deg
         visited = np.zeros(g.num_nodes, dtype=bool)
         visited[0] = True
         frontier = np.array([0], dtype=np.int64)
         level = 0
         while frontier.size:
+            fdeg = deg[frontier]
+            eidx = ragged_ranges(g.ptr[frontier], fdeg)
+            all_nbrs = g.dst[eidx].astype(np.int64)
+            bounds = np.zeros(frontier.size + 1, dtype=np.int64)
+            np.cumsum(fdeg, out=bounds[1:])
             yield KernelLaunch(
                 "bfs.kernel", level,
-                lambda f=frontier.copy(): self._level_waves(f))
-            eidx = ragged_ranges(g.ptr[frontier], deg[frontier])
-            nbrs = np.unique(g.dst[eidx].astype(np.int64))
-            nbrs = nbrs[~visited[nbrs]]
+                lambda f=frontier.copy(), e=eidx, nb=all_nbrs, b=bounds:
+                    self._level_waves(f, e, nb, b))
+            # Dedup + visited filter as one boolean scatter instead of
+            # np.unique (which sorts the whole edge gather): flatnonzero
+            # of the mask yields the same sorted unique node ids.
+            reached = np.zeros(g.num_nodes, dtype=bool)
+            reached[all_nbrs] = True
+            nbrs = np.flatnonzero(reached & ~visited)
             visited[nbrs] = True
             # GPU worklists are unordered: neighbors are discovered in
             # whatever order threads win the visited-flag race, so the

@@ -25,7 +25,8 @@ import numpy as np
 
 from .base import Category, KernelLaunch, Wave, WaveBuilder, Workload
 from .graphs import CsrGraph, make_graph
-from .util import SECTORS_PER_PAGE, coalesced_pages, ragged_ranges
+from .util import (SECTORS_PER_PAGE, coalesced_page_offsets,
+                   coalesced_pages, ragged_ranges)
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,9 @@ class Sssp(Workload):
         p = self.params
         self.graph = make_graph(p.graph_kind, p.num_nodes, p.avg_degree,
                                 rng, skew=p.skew)
+        # Out-degrees are reused by every round of every launch; derive
+        # them once instead of diffing the CSR pointers per kernel.
+        self._deg = self.graph.degrees()
         self._rng = np.random.default_rng(rng.integers(0, 2**63))
         m = self.graph.num_edges
         self.nodes = self._register(
@@ -92,25 +96,38 @@ class Sssp(Workload):
 
     # -- kernel 1: sparse relaxation --------------------------------------
 
-    def _relax_waves(self, worklist: np.ndarray,
-                     touched_dst: list[np.ndarray]) -> Iterator[Wave]:
-        g, p = self.graph, self.params
-        deg = g.degrees()
+    def _relax_waves(self, worklist: np.ndarray, all_eidx: np.ndarray,
+                     all_nbrs: np.ndarray,
+                     bounds: np.ndarray) -> Iterator[Wave]:
+        """Accesses of one relaxation round, chunked into waves.
+
+        ``all_eidx``/``all_nbrs`` are the round's full edge gather
+        (computed once by :meth:`kernels`, which also needs it for the
+        relaxation itself); ``bounds`` maps worklist positions to edge
+        positions, so each wave's slice is exactly what a per-slice
+        ``ragged_ranges`` would have produced.
+        """
+        p = self.params
         for c0 in range(0, worklist.size, p.worklist_per_wave):
-            wl = worklist[c0:c0 + p.worklist_per_wave]
-            eidx = ragged_ranges(g.ptr[wl], deg[wl])
-            nbrs = g.dst[eidx].astype(np.int64)
-            touched_dst.append(nbrs)
+            c1 = min(c0 + p.worklist_per_wave, worklist.size)
+            # Both worklist-indexed reads coalesce the same node set at
+            # different strides; pre-sorting once lets each call skip
+            # its internal sort (the sector sets are unchanged).
+            wl = np.sort(worklist[c0:c1])
+            eidx = all_eidx[bounds[c0]:bounds[c1]]
+            nbrs = all_nbrs[bounds[c0]:bounds[c1]]
             wb = WaveBuilder()
             npg, npc = coalesced_pages(self.nodes, wl * 8)
             wb.read(npg, npc)
             dpg, dpc = coalesced_pages(self.dist, wl * 4)
             wb.read(dpg, dpc)
             if eidx.size:
-                epg, epc = coalesced_pages(self.edges, eidx * 8)
-                wb.read(epg, epc)
-                wpg, wpc = coalesced_pages(self.weights, eidx * 8)
-                wb.read(wpg, wpc)
+                # edges and weights are parallel 8-byte-per-edge arrays:
+                # the gather hits the same page offsets in both, so
+                # coalesce once and rebase per allocation.
+                erel, epc = coalesced_page_offsets(eidx * 8)
+                wb.read(self.edges.first_page + erel, epc)
+                wb.read(self.weights.first_page + erel, epc)
                 # Scattered relaxation: read old distance, maybe write new.
                 tpg, tpc = coalesced_pages(self.dist, nbrs * 4)
                 wb.read(tpg, tpc)
@@ -134,7 +151,7 @@ class Sssp(Workload):
 
     def kernels(self) -> Iterator[KernelLaunch]:
         g, p = self.graph, self.params
-        deg = g.degrees()
+        deg = self._deg
         dist = np.full(g.num_nodes, np.inf, dtype=np.float64)
         dist[0] = 0.0
         # Pending nodes awaiting relaxation; processed in bounded,
@@ -145,23 +162,37 @@ class Sssp(Workload):
                 break
             worklist = pending[:p.max_worklist]
             deferred = pending[p.max_worklist:]
-            touched: list[np.ndarray] = []
+            wdeg = deg[worklist]
+            eidx = ragged_ranges(g.ptr[worklist], wdeg)
+            all_nbrs = g.dst[eidx].astype(np.int64)
+            bounds = np.zeros(worklist.size + 1, dtype=np.int64)
+            np.cumsum(wdeg, out=bounds[1:])
             yield KernelLaunch(
                 "sssp.kernel1", rnd,
-                lambda wl=worklist.copy(), t=touched: self._relax_waves(wl, t))
+                lambda wl=worklist.copy(), e=eidx, nb=all_nbrs, b=bounds:
+                    self._relax_waves(wl, e, nb, b))
             # Perform the actual relaxation to derive the next worklist.
-            eidx = ragged_ranges(g.ptr[worklist], deg[worklist])
+            # Next-worklist membership as one boolean scatter: nodes
+            # whose distance improved, unioned with the deferred tail.
+            # flatnonzero of the mask yields the same sorted unique ids
+            # as the previous np.unique + np.union1d (which re-sorted
+            # the whole edge gather every round).
+            next_mask = np.zeros(g.num_nodes, dtype=bool)
+            next_mask[deferred] = True
             if eidx.size:
-                src = np.repeat(worklist, deg[worklist])
+                src = np.repeat(worklist, wdeg)
                 cand = dist[src] + g.weights[eidx]
-                dst = g.dst[eidx].astype(np.int64)
-                before = dist[dst].copy()
+                dst = all_nbrs
+                # An edge improves its target iff its candidate beats the
+                # pre-update distance; flagging those targets is the same
+                # set as re-gathering distances after the update, minus
+                # one 64K gather and a copy.
+                before = dist[dst]
                 np.minimum.at(dist, dst, cand)
-                changed = np.unique(dst[dist[dst] < before])
-            else:
-                changed = np.empty(0, dtype=np.int64)
+                next_mask[dst[cand < before]] = True
             yield KernelLaunch("sssp.kernel2", rnd, self._sweep_waves)
-            # Merge newly changed nodes with the deferred tail; worklists
-            # are unordered on the GPU, so process in scattered order.
+            # Worklists are unordered on the GPU: process in scattered
+            # order (permutation draws depend only on the size, so this
+            # is bit-identical to permuting the union1d result).
             pending = self._rng.permutation(
-                np.union1d(deferred, changed)).astype(np.int64)
+                np.flatnonzero(next_mask)).astype(np.int64)

@@ -69,6 +69,64 @@ def sorted_unique(values: np.ndarray) -> np.ndarray:
 
 
 SECTOR_SHIFT: int = 7  # 128-byte coalescing sectors
+#: log2(sectors per page): a sector's page offset is ``sector >> 5``.
+_PAGE_SECTOR_SHIFT: int = SECTORS_PER_PAGE.bit_length() - 1
+
+
+def coalesced_page_offsets(byte_offsets: np.ndarray,
+                           accesses_per_sector: int = 1
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Allocation-relative page offsets and counts after 128B coalescing.
+
+    Like :func:`coalesced_pages` but without binding to an allocation:
+    returns page indices relative to the allocation start.  Callers that
+    scatter the *same* element offsets into several parallel allocations
+    of the same element size (e.g. a cost and a flags array indexed by
+    node id) compute this once and add each allocation's ``first_page``.
+
+    One fused sort/run-compress pass: byte offsets collapse to sorted
+    unique sectors, and because a sorted sector stream maps monotonically
+    to pages, the per-page sector counts fall out of a second run
+    compression with no re-sort or sortedness re-check.
+    """
+    offs = np.asarray(byte_offsets, dtype=np.int64)
+    if offs.size == 0:
+        return offs, offs
+    sectors = offs >> SECTOR_SHIFT
+    if not _is_sorted(sectors):
+        lo = int(sectors.min())
+        width = int(sectors.max()) - ((lo >> _PAGE_SECTOR_SHIFT)
+                                      << _PAGE_SECTOR_SHIFT) + 1
+        if width <= 2 * sectors.size:
+            # Dense offset range (e.g. node-indexed arrays): a boolean
+            # scatter over the page-aligned sector window beats sorting.
+            # Distinct sectors per page are the per-page row sums of the
+            # occupancy mask; result is identical to the sorted path.
+            base = (lo >> _PAGE_SECTOR_SHIFT) << _PAGE_SECTOR_SHIFT
+            npages = ((width - 1) >> _PAGE_SECTOR_SHIFT) + 1
+            mask = np.zeros(npages << _PAGE_SECTOR_SHIFT, dtype=bool)
+            mask[sectors - base] = True
+            per_page = mask.reshape(npages, SECTORS_PER_PAGE).sum(axis=1)
+            nz = np.flatnonzero(per_page)
+            counts = per_page[nz]
+            if accesses_per_sector != 1:
+                counts *= accesses_per_sector
+            return (base >> _PAGE_SECTOR_SHIFT) + nz, counts
+        sectors = np.sort(sectors)
+    keep = np.empty(sectors.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(sectors[1:], sectors[:-1], out=keep[1:])
+    rel_pages = sectors[keep] >> _PAGE_SECTOR_SHIFT
+    pkeep = np.empty(rel_pages.size, dtype=bool)
+    pkeep[0] = True
+    np.not_equal(rel_pages[1:], rel_pages[:-1], out=pkeep[1:])
+    boundaries = np.flatnonzero(pkeep)
+    counts = np.empty(boundaries.size, dtype=np.int64)
+    np.subtract(boundaries[1:], boundaries[:-1], out=counts[:-1])
+    counts[-1] = rel_pages.size - boundaries[-1]
+    if accesses_per_sector != 1:
+        counts *= accesses_per_sector
+    return rel_pages[boundaries], counts
 
 
 def coalesced_pages(alloc, byte_offsets: np.ndarray,
@@ -82,10 +140,8 @@ def coalesced_pages(alloc, byte_offsets: np.ndarray,
     to unique sectors, then aggregates sector counts per page -- the
     access stream the hardware access counters actually see.
     """
-    offs = np.asarray(byte_offsets, dtype=np.int64)
-    if offs.size == 0:
-        return offs, offs
-    sectors = sorted_unique(offs >> SECTOR_SHIFT)
-    pages = alloc.pages_of(sectors << SECTOR_SHIFT)
-    upages, ucounts = dedupe_with_counts(pages)
-    return upages, ucounts * accesses_per_sector
+    rel_pages, counts = coalesced_page_offsets(
+        byte_offsets, accesses_per_sector)
+    if rel_pages.size == 0:
+        return rel_pages, counts
+    return alloc.first_page + rel_pages, counts

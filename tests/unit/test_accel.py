@@ -1,0 +1,227 @@
+"""Unit tests for the ``repro.accel`` backend subsystem.
+
+Covers backend resolution (including the no-numba fallback warning and
+its once-per-process guard), JIT pre-warming, shard-plan geometry,
+config validation of the new knobs, and how the backend is surfaced in
+run metadata, checkpoint identity and the regression fingerprint.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.accel as accel
+from repro.accel import Backend, make_shard_plan, resolve_backend
+from repro.analysis.checkpoint import cell_key
+from repro.analysis.parallel import GridCell
+from repro.config import (
+    KNOWN_BACKENDS,
+    MigrationPolicy,
+    SimulationConfig,
+    default_backend,
+)
+from repro.obs import events
+from repro.obs.inspect import summarize
+from repro.obs.regress import fingerprint
+from repro.sim.simulator import Simulator
+from repro.workloads import make_workload
+
+from tests.conftest import make_vas
+
+
+@pytest.fixture
+def fresh_warning_state(monkeypatch):
+    """Reset the once-per-process-tree fallback-warning guard."""
+    monkeypatch.setattr(accel, "_warned", False)
+    monkeypatch.delenv("_REPRO_ACCEL_WARNED", raising=False)
+    monkeypatch.setattr(accel, "FORCE_INTERPRETED", False)
+
+
+# ---------------------------------------------------------------------------
+# backend resolution
+# ---------------------------------------------------------------------------
+
+def test_python_backend_resolves_to_reference_kernels():
+    b = resolve_backend("python")
+    assert b == Backend("python", "python", accel.kernels)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("fortran")
+
+
+def test_numba_request_without_numba_warns_once(capsys,
+                                                fresh_warning_state):
+    if accel.HAS_NUMBA:
+        pytest.skip("numba installed: fallback path unreachable")
+    b = resolve_backend("numba")
+    assert b.name == "python" and b.requested == "numba"
+    assert b.kernels is accel.kernels
+    err = capsys.readouterr().err
+    assert err.count("falling back to the pure-python backend") == 1
+    # Second resolution (and any child process via the env guard) is
+    # silent: the warning fires once per process tree.
+    resolve_backend("numba")
+    assert capsys.readouterr().err == ""
+
+
+def test_forced_interpretation_resolves_numba(monkeypatch):
+    monkeypatch.setattr(accel, "FORCE_INTERPRETED", True)
+    b = resolve_backend("numba")
+    assert b.name == "numba" and b.kernels is accel.jit
+
+
+def test_warm_jit_idempotent(monkeypatch):
+    monkeypatch.setattr(accel, "FORCE_INTERPRETED", True)
+    monkeypatch.setattr(accel, "_warmed", False)
+    accel.warm_jit()
+    accel.warm_jit()  # second call is a no-op, not a recompile
+
+
+def test_first_and_second_cell_walltimes_comparable():
+    """Pre-warming keeps first-cell latency in family with the second.
+
+    With a JIT backend the first driver construction triggers
+    ``warm_jit``; compilation must not land inside the first cell's
+    simulation.  The bound is deliberately loose -- it only catches a
+    first cell paying a multi-second compile the second one skips.
+    """
+    def cell_seconds() -> float:
+        t0 = time.perf_counter()
+        cfg = SimulationConfig(seed=1).with_policy(MigrationPolicy.ADAPTIVE)
+        Simulator(cfg).run(make_workload("ra", "tiny"),
+                           oversubscription=1.25)
+        return time.perf_counter() - t0
+
+    first, second = cell_seconds(), cell_seconds()
+    assert first < 20 * second + 0.5
+
+
+# ---------------------------------------------------------------------------
+# shard plans
+# ---------------------------------------------------------------------------
+
+def test_shard_plan_boundaries_are_chunk_aligned():
+    vas = make_vas(8, 4, 16)
+    firsts = np.array([c.first_block for c in vas.chunks], dtype=np.int64)
+    plan = make_shard_plan(firsts, vas.total_blocks, 4)
+    assert plan.n_shards >= 2
+    assert np.all(np.isin(plan.boundaries, firsts))
+    assert np.all(np.diff(plan.boundaries) > 0)
+
+
+def test_shard_plan_split_covers_sorted_array_exactly():
+    vas = make_vas(8, 4, 16)
+    firsts = np.array([c.first_block for c in vas.chunks], dtype=np.int64)
+    plan = make_shard_plan(firsts, vas.total_blocks, 4)
+    rng = np.random.default_rng(0)
+    blocks = np.sort(rng.integers(0, vas.total_blocks, size=300))
+    slices = plan.split(blocks)
+    assert len(slices) == plan.n_shards
+    assert slices[0][0] == 0 and slices[-1][1] == blocks.size
+    rebuilt = np.concatenate([blocks[lo:hi] for lo, hi in slices])
+    assert np.array_equal(rebuilt, blocks)
+    for i, (lo, hi) in enumerate(slices):  # each slice inside its range
+        if lo == hi:
+            continue
+        if i > 0:
+            assert blocks[lo] >= plan.boundaries[i - 1]
+        if i < plan.n_shards - 1:
+            assert blocks[hi - 1] < plan.boundaries[i]
+
+
+def test_shard_plan_degenerate_cases():
+    vas = make_vas(4)
+    firsts = np.array([c.first_block for c in vas.chunks], dtype=np.int64)
+    single = make_shard_plan(firsts, vas.total_blocks, 1)
+    assert single.n_shards == 1 and single.boundaries.size == 0
+    # More shards than chunks: collapses instead of emitting empties.
+    many = make_shard_plan(firsts, vas.total_blocks, 64)
+    assert many.n_shards <= firsts.size
+    with pytest.raises(ValueError, match=">= 1"):
+        make_shard_plan(firsts, vas.total_blocks, 0)
+
+
+def test_driver_exposes_backend_and_shards():
+    cfg = SimulationConfig(backend="python", shards=4).with_policy(
+        MigrationPolicy.ADAPTIVE)
+    from repro.uvm.driver import UvmDriver
+    drv = UvmDriver(make_vas(8, 4, 16), cfg)
+    assert drv.backend_name == "python"
+    assert drv.shards > 1
+
+
+# ---------------------------------------------------------------------------
+# config plumbing
+# ---------------------------------------------------------------------------
+
+def test_config_rejects_unknown_backend_and_bad_shards():
+    with pytest.raises(ValueError, match="unknown backend"):
+        SimulationConfig(backend="fortran").validate()
+    with pytest.raises(ValueError, match="shards"):
+        SimulationConfig(shards=0).validate()
+    SimulationConfig(backend="numba", shards=4).validate()
+
+
+def test_default_backend_reads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert default_backend() == "python"
+    monkeypatch.setenv("REPRO_BACKEND", "NUMBA")
+    assert default_backend() == "numba"
+    assert SimulationConfig().backend == "numba"
+    assert "numba" in KNOWN_BACKENDS
+
+
+# ---------------------------------------------------------------------------
+# metadata surfaces: run archive, checkpoint identity, regression gate
+# ---------------------------------------------------------------------------
+
+def test_run_meta_records_backend_and_shards_with_defaults():
+    meta = events.RunMeta(workload="ra", policy="adaptive", seed=1,
+                          total_blocks=8, capacity_blocks=4,
+                          allocations=(), backend="numba", shards=4)
+    row = meta.as_dict()
+    back = events.from_dict(row)
+    assert back.backend == "numba" and back.shards == 4
+    # Logs archived before the fields existed decode to the defaults.
+    row.pop("backend")
+    row.pop("shards")
+    old = events.from_dict(row)
+    assert old.backend == "python" and old.shards == 1
+
+
+def test_inspect_summary_names_backend(tmp_path):
+    from repro.obs import Observability
+    log = tmp_path / "events.jsonl"
+    obs = Observability.create(events_path=str(log))
+    cfg = SimulationConfig(seed=2, backend="python", shards=2).with_policy(
+        MigrationPolicy.ADAPTIVE)
+    Simulator(cfg).run(make_workload("ra", "tiny"),
+                       oversubscription=1.25, obs=obs)
+    obs.close()
+    from repro.obs.inspect import render_summary
+    text = render_summary(summarize(str(log)))
+    assert "backend python" in text
+    assert "2 shards" in text
+
+
+def test_cell_key_ignores_backend_and_shards():
+    base = GridCell("ra", MigrationPolicy.ADAPTIVE, 1.25, "tiny")
+    hinted = GridCell("ra", MigrationPolicy.ADAPTIVE, 1.25, "tiny",
+                      backend="numba", shards=4)
+    assert cell_key(hinted) == cell_key(base)
+
+
+def test_fingerprint_tracks_active_backend():
+    report = {"host": {"cpu": "x", "cores": 8},
+              "python": "3.11", "numpy": "2.0",
+              "backend": {"requested": "numba", "active": "python",
+                          "numba": None}}
+    legacy = {"host": {"cpu": "x", "cores": 8},
+              "python": "3.11", "numpy": "2.0"}
+    assert fingerprint(report)[-1] == "python"
+    assert fingerprint(legacy)[-1] == "python"
+    report["backend"]["active"] = "numba"
+    assert fingerprint(report)[-1] == "numba"
