@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-accel bench bench-smoke bench-perf \
-	check-regression figures examples check-docs clean
+	serve-smoke check-regression figures examples check-docs clean
 
 install:
 	pip install -e .
@@ -33,6 +33,12 @@ bench-smoke:
 # Measure the tracked perf trajectory (appends to BENCH_history.jsonl).
 bench-perf:
 	$(PYTHON) benchmarks/bench_perf.py
+
+# Overloaded multi-tenant serving run: must degrade cleanly
+# (throttle -> queue -> shed) and print the per-tenant summary.
+serve-smoke:
+	$(PYTHON) -m repro serve --tenants 6 --arrival-rate 2000 \
+		--queue-depth 2 --shed-watermark 2.0 --json
 
 # Gate on the bench history: non-zero exit when perf regressed.
 check-regression:

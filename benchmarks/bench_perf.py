@@ -246,6 +246,49 @@ def measure_batched_vs_scalar(scale: str, repeats: int) -> dict:
     }
 
 
+#: The serve bench scenario: open-loop churn past 1.5x aggregate
+#: oversubscription with a short queue, so throttle, queue and shed all
+#: engage and ``shed_rate`` is a meaningful gated number.  Always tiny
+#: scale: the serve path's cost is scheduling + driver interleave, not
+#: footprint.
+SERVE_SCENARIO = dict(tenants=10, seed=1, arrival_rate=2000.0,
+                      queue_depth=2, throttle_watermark=1.0,
+                      admit_watermark=1.8, shed_watermark=2.0)
+
+
+def measure_serve(repeats: int, backend: str | None = None) -> dict:
+    """Multi-tenant serve run: wall time plus the serving metrics.
+
+    ``accesses_per_second``/``p99_wave_latency_us``/``shed_rate`` come
+    from the (deterministic) :class:`~repro.serve.session.ServeResult`
+    -- simulated-clock quantities, so the gate catches behavioral
+    regressions; ``wall_seconds`` tracks the host cost of the serving
+    loop itself.
+    """
+    from repro.config import ServeConfig
+    from repro.serve import ServeSession
+
+    cfg = ServeConfig(**SERVE_SCENARIO)
+    sim = SimulationConfig(backend=backend) if backend else None
+    wall, cpu, result = _timed(
+        lambda: ServeSession(cfg, sim_config=sim).run(), repeats)
+    return {
+        "scenario": {k: v for k, v in SERVE_SCENARIO.items()},
+        "arrivals": result.arrivals,
+        "admitted": result.admitted,
+        "shed": result.shed,
+        "throttle_events": result.throttle_events,
+        "peak_live_oversubscription": round(
+            result.peak_live_oversubscription, 3),
+        "simulated_accesses": result.total_accesses,
+        "wall_seconds": round(wall, 4),
+        "cpu_seconds": round(cpu, 4),
+        "accesses_per_second": round(result.accesses_per_second, 1),
+        "p99_wave_latency_us": round(result.p99_wave_latency_us or 0.0, 3),
+        "shed_rate": round(result.shed_rate, 4),
+    }
+
+
 def run(scale: str, repeats: int, jobs: int,
         backend: str | None = None) -> dict:
     # Resolve once up front: prints the one-line fallback warning when
@@ -274,6 +317,7 @@ def run(scale: str, repeats: int, jobs: int,
         "sweep_grid": measure_sweep(scale, repeats, jobs),
         "batched_vs_scalar": measure_batched_vs_scalar(scale, repeats),
         "fast_path": measure_fast_path(repeats, backend=backend),
+        "serve": measure_serve(repeats, backend=backend),
     }
     return report
 
@@ -342,6 +386,13 @@ def main(argv=None) -> int:
           f"{fp['steady_state_accesses_per_second']:,.0f} steady-state "
           f"accesses/s, hit rate {fp['hit_rate']:.2f}, "
           f"{fp['fast_path_speedup']:.2f}x vs fast path off")
+    sv = report["serve"]
+    print(f"serve: {sv['accesses_per_second']:,.0f} simulated accesses/s "
+          f"across {sv['arrivals']} tenants "
+          f"({sv['admitted']} admitted, {sv['shed']} shed, "
+          f"shed rate {sv['shed_rate']:.2f}); "
+          f"p99 wave latency {sv['p99_wave_latency_us']:.1f}us, "
+          f"wall {sv['wall_seconds']:.3f}s")
     saved = f"[saved to {out}"
     if not args.no_history:
         saved += f"; appended to {args.history}"

@@ -22,6 +22,10 @@ Commands
 ``inspect``
     Summarize a structured event log recorded with ``--events``:
     top-thrashing blocks and the threshold trajectory per allocation.
+``serve``
+    Multi-tenant open-loop serving run: seeded tenant arrivals admitted
+    against a shared device capacity, wave streams interleaved onto one
+    driver, graceful throttle/queue/shed degradation under overload.
 ``runs``
     List the archived runs under the run store.
 ``diff``
@@ -99,7 +103,10 @@ def _build_config(args) -> SimulationConfig:
             cfg = cfg.with_faults(
                 transfer_fault_rate=args.fault_rate,
                 migration_fault_rate=args.migration_fault_rate,
-                max_retries=args.fault_retries)
+                max_retries=args.fault_retries,
+                burst_on_prob=getattr(args, "fault_burst_on", 0.0),
+                burst_off_prob=getattr(args, "fault_burst_off", 0.25),
+                burst_multiplier=getattr(args, "fault_burst_mult", 8.0))
         except ValueError as exc:
             raise SystemExit(f"repro: {exc}") from None
     return cfg
@@ -385,6 +392,120 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _begin_serve_archive(args, serve_cfg, sim_cfg, obs):
+    """Open a ``kind="serve"`` archive slot (or ``None``)."""
+    if not getattr(args, "archive", False):
+        return None
+    from .analysis.checkpoint import encode_config
+    from .obs import JsonlSink
+    from .obs.store import RunManifest, RunStore, git_info
+    store = RunStore(getattr(args, "runs", None))
+    manifest = RunManifest.create(
+        kind="serve", workload="+".join(serve_cfg.workload_mix),
+        policy=sim_cfg.policy.policy.value, scale=serve_cfg.scale,
+        seed=serve_cfg.seed, oversubscription=None,
+        config={"serve": serve_cfg.as_dict(),
+                "sim": encode_config(sim_cfg)},
+        git=git_info())
+    writer = store.open_run(manifest)
+    obs.bus.attach(JsonlSink(writer.events_path))
+    return writer
+
+
+def _print_serve_summary(result) -> None:
+    fmt_us = lambda v: "-" if v is None else f"{v / 1e3:.2f}"  # noqa: E731
+    rows = [
+        ["arrivals", result.arrivals],
+        ["admitted", result.admitted],
+        ["queued", result.queued],
+        ["shed", result.shed],
+        ["completed", result.completed],
+        ["shed rate", f"{result.shed_rate:.1%}"],
+        ["peak live oversubscription",
+         f"{result.peak_live_oversubscription:.2f}x"],
+        ["throttle events", result.throttle_events],
+        ["duration (ms)", fmt_us(result.duration_us)],
+        ["waves", result.total_waves],
+        ["accesses/s", f"{result.accesses_per_second:,.0f}"],
+        ["p50 wave latency (us)",
+         "-" if result.p50_wave_latency_us is None
+         else f"{result.p50_wave_latency_us:.1f}"],
+        ["p99 wave latency (us)",
+         "-" if result.p99_wave_latency_us is None
+         else f"{result.p99_wave_latency_us:.1f}"],
+        ["first throttle (ms)", fmt_us(result.first_throttle_us)],
+        ["first queue (ms)", fmt_us(result.first_queue_us)],
+        ["first shed (ms)", fmt_us(result.first_shed_us)],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"== serve: {result.arrivals} tenants @ "
+                             f"{result.config.capacity_mb}MB "
+                             f"({result.backend}) =="))
+    rows = []
+    for t in result.tenants:
+        if t.shed:
+            state = f"shed ({t.shed_reason})"
+        elif t.complete_us is not None:
+            state = "complete"
+        else:
+            state = "admitted"
+        rows.append([
+            t.tenant, t.workload, f"{t.footprint_mb:.1f}",
+            f"{t.arrival_us / 1e3:.2f}", f"{t.queued_us / 1e3:.2f}",
+            state, t.waves,
+            "-" if t.p99_wave_latency_us is None
+            else f"{t.p99_wave_latency_us:.1f}",
+            t.throttled_rounds, t.thrash_migrations, t.cross_evictions])
+    print()
+    print(format_table(
+        ["tenant", "workload", "MB", "arrive ms", "queued ms", "state",
+         "waves", "p99 us", "thr rounds", "thrash", "x-evict"],
+        rows, title="-- per-tenant lifecycle"))
+
+
+def cmd_serve(args) -> int:
+    from .config import ServeConfig
+    from .serve import ServeSession
+    sim_cfg = _build_config(args)
+    mix = tuple(w.strip() for w in args.mix.split(",") if w.strip())
+    known = workload_names(extended=True)
+    for name in mix:
+        if name not in known:
+            raise SystemExit(f"repro serve: unknown workload {name!r} in "
+                             f"--mix; available: {', '.join(known)}")
+    try:
+        serve_cfg = ServeConfig(
+            arrival_rate=args.arrival_rate, tenants=args.tenants,
+            duration_ms=args.duration, process=args.process,
+            burst_factor=args.burst_factor, burst_len_ms=args.burst_len,
+            calm_len_ms=args.calm_len, workload_mix=mix, scale=args.scale,
+            capacity_mb=args.capacity_mb,
+            admit_watermark=args.admit_watermark,
+            shed_watermark=args.shed_watermark,
+            throttle_watermark=args.throttle_watermark,
+            queue_depth=args.queue_depth, quantum=args.quantum,
+            throttle_rounds=args.throttle_rounds, seed=args.seed).validate()
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}") from None
+    obs = _make_obs(args)
+    archive = _begin_serve_archive(args, serve_cfg, sim_cfg, obs)
+    try:
+        result = ServeSession(serve_cfg, sim_config=sim_cfg, obs=obs).run()
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}") from None
+    if args.json:
+        import json as _json
+        print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        _print_serve_summary(result)
+    _finish_obs(obs, args)
+    if archive is not None:
+        metrics = obs.metrics.as_dict() if obs.metrics is not None else None
+        run_id = archive.commit_dict(result.as_dict(), metrics=metrics)
+        print(f"[archived as {run_id}; list with `repro runs`]")
+    return 0
+
+
 def cmd_inspect(args) -> int:
     from .obs.inspect import render_summary, summarize
     try:
@@ -492,6 +613,18 @@ def _add_sim_args(p, with_oversub=True) -> None:
     p.add_argument("--fault-retries", type=int, default=3,
                    help="driver retries before degrading a faulted "
                         "migration to remote zero-copy access")
+    p.add_argument("--fault-burst-on", type=float, default=0.0,
+                   metavar="PROB",
+                   help="per-migration probability of entering a "
+                        "correlated fault storm that multiplies both "
+                        "fault rates (0 = uncorrelated faults only)")
+    p.add_argument("--fault-burst-off", type=float, default=0.25,
+                   metavar="PROB",
+                   help="per-migration probability of a fault storm "
+                        "ending")
+    p.add_argument("--fault-burst-mult", type=float, default=8.0,
+                   metavar="X",
+                   help="fault-rate multiplier while a storm is active")
     p.add_argument("--debug-invariants", action="store_true",
                    help="check residency/capacity accounting after "
                         "every wave (slow; for debugging)")
@@ -647,6 +780,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_args(pp)
     _add_obs_args(pp)
     pp.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("serve", help="multi-tenant open-loop serving run")
+    from .config import KNOWN_ARRIVAL_PROCESSES
+    p.add_argument("--arrival-rate", type=float, default=400.0,
+                   metavar="PER_S",
+                   help="tenant arrivals per second of simulated time "
+                        "(open loop: arrivals never wait for service)")
+    p.add_argument("--tenants", type=int, default=12,
+                   help="number of tenant arrivals to generate")
+    p.add_argument("--duration", type=float, default=None, metavar="MS",
+                   help="arrival window in simulated milliseconds "
+                        "(default: cut by --tenants alone)")
+    p.add_argument("--process", default="poisson",
+                   choices=KNOWN_ARRIVAL_PROCESSES,
+                   help="arrival process (bursty = Markov-modulated "
+                        "Poisson with calm/burst sojourns)")
+    p.add_argument("--burst-factor", type=float, default=8.0,
+                   help="arrival-rate multiplier inside a burst "
+                        "(bursty process only)")
+    p.add_argument("--burst-len", type=float, default=2.0, metavar="MS",
+                   help="mean burst-state sojourn in simulated ms")
+    p.add_argument("--calm-len", type=float, default=10.0, metavar="MS",
+                   help="mean calm-state sojourn in simulated ms")
+    p.add_argument("--mix", default="ra,sssp,bfs,fdtd",
+                   help="comma-separated workloads tenants are drawn "
+                        "from (seeded uniform choice)")
+    p.add_argument("--scale", default="tiny", choices=SCALES)
+    p.add_argument("--capacity-mb", type=int, default=32,
+                   help="shared device memory capacity in MB")
+    p.add_argument("--admit-watermark", type=float, default=1.5,
+                   help="projected live oversubscription up to which "
+                        "arrivals are admitted immediately")
+    p.add_argument("--shed-watermark", type=float, default=2.5,
+                   help="projected oversubscription past which an "
+                        "arrival is shed outright")
+    p.add_argument("--throttle-watermark", type=float, default=1.2,
+                   help="live oversubscription at which the heaviest-"
+                        "thrashing tenant's stream is suspended")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="bounded admission queue depth (full = shed)")
+    p.add_argument("--quantum", type=int, default=4,
+                   help="waves per runnable tenant per scheduler round")
+    p.add_argument("--throttle-rounds", type=int, default=8,
+                   help="scheduler rounds a throttled tenant sits out")
+    p.add_argument("--json", action="store_true",
+                   help="print the full serve result as JSON")
+    _add_sim_args(p, with_oversub=False)
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("inspect", help="summarize a structured event log")
     p.add_argument("events", help="JSONL event log written by --events "

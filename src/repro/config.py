@@ -276,6 +276,16 @@ class FaultConfig:
     retry_backoff_us: float = 5.0
     #: Growth factor of the backoff wait per successive retry.
     backoff_multiplier: float = 2.0
+    #: Correlated fault storms: a two-state Markov chain (calm/storm)
+    #: stepped once per migration site.  ``burst_on_prob`` is the
+    #: calm->storm transition probability per step (0.0 disables the
+    #: chain entirely: no extra randomness is consumed and behavior is
+    #: bit-identical to the uncorrelated model).
+    burst_on_prob: float = 0.0
+    #: Storm->calm transition probability per step.
+    burst_off_prob: float = 0.25
+    #: Multiplier applied to both fault rates while the storm is on.
+    burst_multiplier: float = 8.0
 
     def __post_init__(self) -> None:
         for name in ("transfer_fault_rate", "migration_fault_rate"):
@@ -290,12 +300,32 @@ class FaultConfig:
             raise ValueError("retry_backoff_us must be >= 0")
         if self.backoff_multiplier < 1.0:
             raise ValueError("backoff_multiplier must be >= 1.0")
+        for name in ("burst_on_prob", "burst_off_prob"):
+            prob = getattr(self, name)
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must lie in [0.0, 1.0], "
+                                 f"got {prob!r}")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1.0 "
+                             "(storms intensify faults, never mask them)")
+        if self.burst_enabled:
+            for name in ("transfer_fault_rate", "migration_fault_rate"):
+                boosted = getattr(self, name) * self.burst_multiplier
+                if boosted >= 1.0:
+                    raise ValueError(
+                        f"{name} * burst_multiplier = {boosted:g} reaches "
+                        "1.0; a storm must not make every attempt fail")
 
     @property
     def enabled(self) -> bool:
         """Whether any fault class can actually fire."""
         return (self.transfer_fault_rate > 0.0
                 or self.migration_fault_rate > 0.0)
+
+    @property
+    def burst_enabled(self) -> bool:
+        """Whether the Markov storm chain modulates the fault rates."""
+        return self.burst_on_prob > 0.0
 
     def total_backoff_us(self, n_failures: int) -> float:
         """Cumulative backoff wait after ``n_failures`` failed attempts."""
@@ -423,6 +453,138 @@ class SimulationConfig:
         """Return a copy with fault-injection fields replaced."""
         return dataclasses.replace(
             self, faults=dataclasses.replace(self.faults, **fault_kwargs))
+
+
+#: Arrival processes the serving layer's traffic generator supports.
+KNOWN_ARRIVAL_PROCESSES: tuple[str, ...] = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Multi-tenant serving-layer knobs (``repro serve``).
+
+    The serving layer (:mod:`repro.serve`) spawns workload instances as
+    *tenants* from a seeded open-loop arrival process, admits them
+    against the shared device capacity, and interleaves their wave
+    streams onto one driver.  Three watermarks express graceful
+    degradation, engaged in escalation order as aggregate
+    oversubscription rises:
+
+    1. ``throttle_watermark`` -- suspend the heaviest-thrashing
+       tenant's stream (the paper's Section VIII throttling proposal);
+    2. ``admit_watermark`` -- stop admitting, queue new arrivals
+       (bounded queue);
+    3. ``shed_watermark`` -- shed arrivals outright (deterministically,
+       never by timeout), also engaged whenever the queue is full.
+
+    Every decision is a pure function of ``(seed, arrival trace,
+    capacity)``: a serve run replays bit-identically for a fixed seed.
+    """
+
+    #: Tenant arrivals per second of *simulated* time (open loop: the
+    #: generator never waits for completions).
+    arrival_rate: float = 400.0
+    #: Maximum number of tenant arrivals to generate.
+    tenants: int = 12
+    #: Optional arrival window in simulated milliseconds; arrivals past
+    #: it are not generated (None: cut by ``tenants`` alone).
+    duration_ms: float | None = None
+    #: Arrival process: ``poisson`` (memoryless) or ``bursty`` (two-state
+    #: Markov-modulated Poisson: calm/burst sojourns with the burst
+    #: state multiplying the arrival rate).
+    process: str = "poisson"
+    #: Arrival-rate multiplier inside a burst (bursty process only).
+    burst_factor: float = 8.0
+    #: Mean burst-state sojourn in simulated milliseconds.
+    burst_len_ms: float = 2.0
+    #: Mean calm-state sojourn in simulated milliseconds.
+    calm_len_ms: float = 10.0
+    #: Workloads tenants are drawn from (seeded uniform choice).
+    workload_mix: tuple[str, ...] = ("ra", "sssp", "bfs", "fdtd")
+    #: Preset scale every tenant runs at.
+    scale: str = "tiny"
+    #: Shared device memory capacity in MB (tenants oversubscribe it).
+    capacity_mb: int = 32
+    #: Live-footprint oversubscription (live blocks / capacity blocks)
+    #: up to which new arrivals are admitted immediately.
+    admit_watermark: float = 1.5
+    #: Projected oversubscription past which an arrival is shed outright.
+    shed_watermark: float = 2.5
+    #: Live oversubscription at which the throttle engages (suspends the
+    #: heaviest-thrashing tenant's wave stream).
+    throttle_watermark: float = 1.2
+    #: Bounded admission queue depth; a full queue sheds.
+    queue_depth: int = 8
+    #: Waves each runnable tenant contributes per scheduler round.
+    quantum: int = 4
+    #: Scheduler rounds a throttled tenant sits out.
+    throttle_rounds: int = 8
+    seed: int = 0
+
+    def replace(self, **kwargs) -> "ServeConfig":
+        """Return a copy with fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def validate(self) -> "ServeConfig":
+        """Check field and cross-field invariants; returns ``self``."""
+        errors: list[str] = []
+        if self.arrival_rate <= 0.0:
+            errors.append(f"arrival_rate must be positive, got "
+                          f"{self.arrival_rate!r}")
+        if self.tenants < 1:
+            errors.append(f"tenants must be >= 1, got {self.tenants}")
+        if self.duration_ms is not None and self.duration_ms <= 0.0:
+            errors.append(f"duration_ms must be positive, got "
+                          f"{self.duration_ms!r}")
+        if self.process not in KNOWN_ARRIVAL_PROCESSES:
+            errors.append(f"unknown arrival process {self.process!r}; "
+                          f"choose from {KNOWN_ARRIVAL_PROCESSES}")
+        if self.burst_factor < 1.0:
+            errors.append(f"burst_factor must be >= 1.0, got "
+                          f"{self.burst_factor!r}")
+        if self.burst_len_ms <= 0.0 or self.calm_len_ms <= 0.0:
+            errors.append("burst_len_ms and calm_len_ms must be positive")
+        if not self.workload_mix:
+            errors.append("workload_mix must name at least one workload")
+        if self.capacity_mb * MB < CHUNK_SIZE:
+            errors.append(f"capacity_mb {self.capacity_mb} is below one "
+                          "2MB chunk")
+        if self.throttle_watermark <= 0.0:
+            errors.append("throttle_watermark must be positive")
+        if not (self.throttle_watermark <= self.admit_watermark
+                <= self.shed_watermark):
+            errors.append(
+                f"watermarks must escalate: throttle "
+                f"({self.throttle_watermark}) <= admit "
+                f"({self.admit_watermark}) <= shed ({self.shed_watermark}) "
+                "-- degradation engages throttle, then queue, then shed")
+        if self.queue_depth < 1:
+            errors.append(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.quantum < 1:
+            errors.append(f"quantum must be >= 1, got {self.quantum}")
+        if self.throttle_rounds < 1:
+            errors.append(f"throttle_rounds must be >= 1, got "
+                          f"{self.throttle_rounds}")
+        if errors:
+            raise ValueError(
+                "invalid ServeConfig:\n  - " + "\n  - ".join(errors))
+        return self
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Shared device capacity in bytes."""
+        return self.capacity_mb * MB
+
+    @property
+    def duration_us(self) -> float | None:
+        """Arrival window in simulated microseconds (None: unbounded)."""
+        return None if self.duration_ms is None else self.duration_ms * 1e3
+
+    def as_dict(self) -> dict:
+        """Flat JSON-safe encoding (archived in serve-run manifests)."""
+        d = dataclasses.asdict(self)
+        d["workload_mix"] = list(self.workload_mix)
+        return d
 
 
 def capacity_for_oversubscription(footprint_bytes: int, oversubscription: float = 1.0) -> int:

@@ -40,6 +40,11 @@ from .events import (
     MigrationDecision,
     PrefetchExpand,
     RunMeta,
+    TenantAdmitted,
+    TenantArrival,
+    TenantComplete,
+    TenantShed,
+    TenantThrottled,
     from_dict,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
@@ -142,6 +147,11 @@ __all__ = [
     "RunMeta",
     "Series",
     "Sink",
+    "TenantAdmitted",
+    "TenantArrival",
+    "TenantComplete",
+    "TenantShed",
+    "TenantThrottled",
     "TimelineProfiler",
     "TimelineRecorder",
     "TimelineSink",

@@ -148,11 +148,102 @@ class PrefetchExpand(Event):
     blocks: int
 
 
+@dataclass(frozen=True, slots=True)
+class TenantArrival(Event):
+    """A tenant entered the open-loop serving system (``repro serve``).
+
+    ``at_us`` is the arrival time on the serving clock, ``footprint_mb``
+    the tenant's managed-allocation footprint.
+    """
+
+    kind = "tenant_arrival"
+
+    tenant: int
+    workload: str
+    at_us: float
+    footprint_mb: float
+
+
+@dataclass(frozen=True, slots=True)
+class TenantAdmitted(Event):
+    """The admission controller admitted a tenant onto the device.
+
+    ``queued_us`` is the time spent waiting in the admission queue
+    (0.0 for immediate admission); ``live_oversubscription`` is the
+    aggregate live-footprint/capacity ratio *after* the admit.
+    """
+
+    kind = "tenant_admitted"
+
+    tenant: int
+    at_us: float
+    queued_us: float
+    live_oversubscription: float
+
+
+@dataclass(frozen=True, slots=True)
+class TenantShed(Event):
+    """The admission controller deterministically shed a tenant.
+
+    ``reason`` is ``"watermark"`` (projected oversubscription past the
+    shed watermark) or ``"queue_full"`` (bounded queue at capacity).
+    """
+
+    kind = "tenant_shed"
+
+    tenant: int
+    at_us: float
+    reason: str
+    live_oversubscription: float
+
+
+@dataclass(frozen=True, slots=True)
+class TenantThrottled(Event):
+    """Graceful degradation suspended a tenant's wave stream.
+
+    The heaviest-thrashing tenant is paused for ``rounds`` scheduler
+    rounds when live oversubscription crosses the throttle watermark
+    (the paper's Section VIII proposal); ``thrash_migrations`` is the
+    thrash attributed to the tenant at suspension time.
+    """
+
+    kind = "tenant_throttled"
+
+    tenant: int
+    at_us: float
+    rounds: int
+    thrash_migrations: int
+
+
+@dataclass(frozen=True, slots=True)
+class TenantComplete(Event):
+    """A tenant drained its last wave and released its footprint.
+
+    ``freed_blocks``/``writeback_blocks`` account the teardown;
+    ``p99_wave_latency_us`` summarizes the tenant's wave-latency
+    histogram; ``thrash_migrations``/``cross_evictions`` carry the
+    per-tenant attribution (thrash charged to the tenant's data, blocks
+    it lost to other tenants' pressure).
+    """
+
+    kind = "tenant_complete"
+
+    tenant: int
+    at_us: float
+    waves: int
+    freed_blocks: int
+    writeback_blocks: int
+    p99_wave_latency_us: float
+    thrash_migrations: int = 0
+    cross_evictions: int = 0
+
+
 #: kind tag -> event class, for deserializing JSONL logs.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (RunMeta, MigrationDecision, Eviction, CounterHalving,
-                FaultRetry, PrefetchExpand)
+                FaultRetry, PrefetchExpand, TenantArrival, TenantAdmitted,
+                TenantShed, TenantThrottled, TenantComplete)
 }
 
 

@@ -30,6 +30,11 @@ from .events import (
     MigrationDecision,
     PrefetchExpand,
     RunMeta,
+    TenantAdmitted,
+    TenantArrival,
+    TenantComplete,
+    TenantShed,
+    TenantThrottled,
     from_dict,
 )
 from .metrics import Histogram
@@ -114,6 +119,42 @@ class AllocationTrend:
 
 
 @dataclass
+class TenantSummary:
+    """Lifecycle of one tenant in a ``repro serve`` event log."""
+
+    tenant: int
+    workload: str = "?"
+    arrived_us: float = 0.0
+    admits: int = 0
+    queued_us: float = 0.0
+    sheds: int = 0
+    shed_reason: str = ""
+    throttles: int = 0
+    throttle_rounds: int = 0
+    waves: int = 0
+    p99_wave_latency_us: float = 0.0
+    thrash_migrations: int = 0
+    cross_evictions: int = 0
+    completed: bool = False
+
+    @property
+    def state(self) -> str:
+        if self.completed:
+            return "complete"
+        if self.sheds:
+            return f"shed:{self.shed_reason}"
+        if self.admits:
+            return "admitted"
+        return "arrived"
+
+    @property
+    def interference(self) -> int:
+        """Cross-tenant pressure felt and caused: evictions suffered
+        from other tenants plus thrash charged to this tenant's data."""
+        return self.cross_evictions + self.thrash_migrations
+
+
+@dataclass
 class LogSummary:
     """Aggregated view of one event log."""
 
@@ -132,6 +173,15 @@ class LogSummary:
     degraded_migrations: int = 0
     halvings: dict = field(default_factory=dict)
     last_wave: int = 0
+    #: tenant id -> TenantSummary (serve logs only; empty otherwise)
+    tenants: dict = field(default_factory=dict)
+
+    def tenant(self, tid: int) -> TenantSummary:
+        """The (auto-created) summary row for tenant ``tid``."""
+        row = self.tenants.get(tid)
+        if row is None:
+            row = self.tenants[tid] = TenantSummary(tenant=tid)
+        return row
 
     def allocation_of(self, block: int) -> str:
         """Allocation name owning ``block`` (from the RunMeta header)."""
@@ -208,6 +258,29 @@ def summarize(path_or_events) -> LogSummary:
             s.allocations = [
                 AllocationTrend(name, first, last)
                 for name, first, last in ev.allocations]
+        elif type(ev) is TenantArrival:
+            row = s.tenant(ev.tenant)
+            row.workload = ev.workload
+            row.arrived_us = ev.at_us
+        elif type(ev) is TenantAdmitted:
+            row = s.tenant(ev.tenant)
+            row.admits += 1
+            row.queued_us = ev.queued_us
+        elif type(ev) is TenantShed:
+            row = s.tenant(ev.tenant)
+            row.sheds += 1
+            row.shed_reason = ev.reason
+        elif type(ev) is TenantThrottled:
+            row = s.tenant(ev.tenant)
+            row.throttles += 1
+            row.throttle_rounds += ev.rounds
+        elif type(ev) is TenantComplete:
+            row = s.tenant(ev.tenant)
+            row.completed = True
+            row.waves = ev.waves
+            row.p99_wave_latency_us = ev.p99_wave_latency_us
+            row.thrash_migrations = ev.thrash_migrations
+            row.cross_evictions = ev.cross_evictions
     return s
 
 
@@ -268,6 +341,23 @@ def render_summary(summary: LogSummary, top: int = 10) -> str:
               r["round_trips"], r["last_threshold"]] for r in thrash]))
     else:
         lines.append("-- no thrashing blocks (no block migrated twice)")
+
+    if summary.tenants:
+        lines.append("")
+        lines.append("-- tenants (serve log): lifecycle, latency, "
+                     "interference")
+        rows = []
+        for tid in sorted(summary.tenants):
+            t = summary.tenants[tid]
+            rows.append([
+                t.tenant, t.workload, t.state, t.admits, t.sheds,
+                f"{t.queued_us / 1e3:.2f}", t.throttles, t.waves,
+                f"{t.p99_wave_latency_us:.1f}" if t.completed else "-",
+                t.interference])
+        lines.append(_table(
+            ["tenant", "workload", "state", "admits", "sheds",
+             "queued ms", "throttles", "waves", "p99 us", "interference"],
+            rows))
 
     trends = [t for t in summary.allocations if t.decisions]
     if trends:

@@ -36,6 +36,12 @@ GATED_METRICS: dict[str, str] = {
     # throughput: the number the compiled-backend work drives toward
     # the replay ceiling.  Absent from older history entries.
     "throughput.live_accesses_per_second": "higher",
+    # Multi-tenant serving scenario (deterministic simulated-clock
+    # quantities: behavioral regressions, not host noise).  Absent
+    # from pre-serve history entries, so those skip cleanly.
+    "serve.accesses_per_second": "higher",
+    "serve.p99_wave_latency_us": "lower",
+    "serve.shed_rate": "lower",
 }
 
 #: Default trailing-window length and relative tolerance.

@@ -195,8 +195,17 @@ class RunWriter:
 
     def commit(self, result: RunResult, metrics: dict | None = None) -> str:
         """Persist the finished run; returns its run id."""
-        _write_json(os.path.join(self.dir, "result.json"),
-                    encode_result(result))
+        return self.commit_dict(encode_result(result), metrics=metrics)
+
+    def commit_dict(self, result: dict, metrics: dict | None = None) -> str:
+        """Persist a run whose result is already a JSON-safe dict.
+
+        Serve runs (``kind="serve"``) archive their
+        :class:`~repro.serve.session.ServeResult` this way; their
+        ``result.json`` is not checkpoint-codec decodable, so ``repro
+        diff`` does not apply to them (``repro runs`` lists them fine).
+        """
+        _write_json(os.path.join(self.dir, "result.json"), result)
         if metrics is not None:
             _write_json(os.path.join(self.dir, "metrics.json"), metrics)
         # Manifest last: its presence is the commit marker.

@@ -1,0 +1,130 @@
+"""Capacity-aware admission control for the serving layer.
+
+The controller tracks the *live footprint* -- the summed allocation
+footprint of every admitted, not-yet-complete tenant -- against the
+shared device capacity and decides each arrival's fate:
+
+* **admit** when the queue is empty and the projected oversubscription
+  (live + arrival footprint, over capacity) stays at or below the admit
+  watermark;
+* **queue** (bounded FIFO) when the arrival does not fit right now but
+  its projected oversubscription stays at or below the shed watermark;
+* **shed** deterministically -- never by timeout -- when the projected
+  oversubscription exceeds the shed watermark (``"watermark"``) or the
+  queue is at capacity (``"queue_full"``).
+
+Queued tenants are admitted strictly in FIFO order as completions
+release footprint; an arrival is never admitted past a non-empty queue.
+The anti-livelock rule: when the device goes idle (live footprint zero)
+with a non-empty queue, the head is force-admitted even if it exceeds
+the admit watermark (reason ``"idle"``), so a large tenant at the head
+can never stall the system forever.
+
+Every decision is recorded in order; the decision list is a pure
+function of ``(capacity, watermarks, the offer/release call sequence)``,
+which the serving session in turn derives purely from ``(seed, arrival
+trace, capacity)`` -- the purity the property tests pin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission-control verdict, in decision order."""
+
+    tenant: int
+    #: ``"admit"``, ``"queue"``, or ``"shed"``.
+    action: str
+    #: ``""`` for plain admits/queues; ``"watermark"``/``"queue_full"``
+    #: for sheds; ``"idle"`` for anti-livelock force-admits.
+    reason: str
+    #: Live-footprint oversubscription *after* the decision applied.
+    live_oversubscription: float
+
+
+class AdmissionController:
+    """Admit/queue/shed tenants against the shared device capacity."""
+
+    def __init__(self, capacity_blocks: int, admit_watermark: float,
+                 shed_watermark: float, queue_depth: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be >= 1")
+        if not admit_watermark <= shed_watermark:
+            raise ValueError("watermarks must escalate: admit <= shed")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.capacity_blocks = capacity_blocks
+        self.admit_watermark = admit_watermark
+        self.shed_watermark = shed_watermark
+        self.queue_depth = queue_depth
+        #: Summed footprint blocks of admitted, not-yet-complete tenants.
+        self.live_blocks = 0
+        #: Bounded FIFO of ``(tenant, blocks, enqueued_at_us)``.
+        self.queue: deque[tuple[int, int, float]] = deque()
+        #: Every verdict, in decision order (the purity surface).
+        self.decisions: list[Decision] = []
+        self.admits = 0
+        self.queued = 0
+        self.sheds = 0
+
+    @property
+    def oversubscription(self) -> float:
+        """Current live-footprint oversubscription ratio."""
+        return self.live_blocks / self.capacity_blocks
+
+    def projected(self, blocks: int) -> float:
+        """Oversubscription ratio if ``blocks`` more were admitted."""
+        return (self.live_blocks + blocks) / self.capacity_blocks
+
+    def offer(self, tenant: int, blocks: int, at_us: float) -> Decision:
+        """Decide one arrival's fate; returns the recorded decision."""
+        projected = self.projected(blocks)
+        if not self.queue and projected <= self.admit_watermark:
+            self.live_blocks += blocks
+            self.admits += 1
+            d = Decision(tenant, "admit", "", self.oversubscription)
+        elif projected > self.shed_watermark:
+            self.sheds += 1
+            d = Decision(tenant, "shed", "watermark", self.oversubscription)
+        elif len(self.queue) >= self.queue_depth:
+            self.sheds += 1
+            d = Decision(tenant, "shed", "queue_full", self.oversubscription)
+        else:
+            self.queue.append((tenant, blocks, at_us))
+            self.queued += 1
+            d = Decision(tenant, "queue", "", self.oversubscription)
+        self.decisions.append(d)
+        return d
+
+    def pop_admittable(self, force: bool = False
+                       ) -> tuple[int, float] | None:
+        """Admit the queue head if it fits (or unconditionally).
+
+        Returns ``(tenant, enqueued_at_us)`` on admission, ``None`` when
+        the queue is empty or the head still does not fit.  ``force`` is
+        the anti-livelock path: the caller asserts the device is idle,
+        so the head is admitted regardless of the admit watermark.
+        """
+        if not self.queue:
+            return None
+        tenant, blocks, enqueued_at = self.queue[0]
+        fits = self.projected(blocks) <= self.admit_watermark
+        if not fits and not force:
+            return None
+        self.queue.popleft()
+        self.live_blocks += blocks
+        self.admits += 1
+        self.decisions.append(Decision(
+            tenant, "admit", "" if fits else "idle", self.oversubscription))
+        return tenant, enqueued_at
+
+    def release(self, blocks: int) -> None:
+        """Return a completed tenant's footprint to the live budget."""
+        if blocks > self.live_blocks:
+            raise ValueError(
+                f"releasing {blocks} blocks but only {self.live_blocks} live")
+        self.live_blocks -= blocks

@@ -1,0 +1,506 @@
+"""The serving session: tenants interleaved onto one shared driver.
+
+:class:`ServeSession` ties the serving layer together.  It generates
+the arrival trace (:mod:`repro.serve.traffic`), pre-builds every
+tenant's allocations into one shared virtual address space under a
+per-tenant namespace (``t<id>/<name>`` -- the allocator is append-only,
+so the full VA space must exist before the driver is constructed), and
+then drives the run loop on the simulated clock:
+
+* arrivals are offered to the admission controller
+  (:mod:`repro.serve.admission`) as the clock passes them;
+* admitted tenants' wave streams are interleaved round-robin, each
+  runnable tenant contributing ``quantum`` waves per scheduler round to
+  the one shared :class:`~repro.uvm.driver.UvmDriver`;
+* graceful degradation engages in watermark escalation order: at the
+  throttle watermark the heaviest-thrashing tenant's stream is
+  suspended for ``throttle_rounds`` rounds (the paper's Section VIII
+  throttling proposal, driven by the per-tenant
+  :class:`~repro.uvm.attribution.TenantAttribution`), at the admit
+  watermark arrivals queue, and past the shed watermark (or a full
+  queue) they are shed;
+* a completing tenant releases its chunks through
+  :meth:`~repro.uvm.driver.UvmDriver.release_chunks` (write-backs
+  charged to the clock, no round-trip pollution) and the freed
+  footprint drains the admission queue FIFO.
+
+Determinism contract: arrival trace, tenant builds, and driver faults
+each own a separate seeded RNG stream; the scheduler is a deterministic
+function of the trace and wave timing; nothing reads the wall clock.
+A serve run is therefore a pure function of ``(ServeConfig,
+SimulationConfig)`` and replays bit-identically -- including across
+``--backend python|numba`` (the driver backends are bit-identical by
+construction).  Shed tenants' allocations still occupy VA space but
+never touch the device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MB, ServeConfig, SimulationConfig
+from ..gpu.timing import TimingModel
+from ..interconnect.pcie import PcieModel
+from ..memory.allocator import VirtualAddressSpace
+from ..obs.events import (
+    RunMeta,
+    TenantAdmitted,
+    TenantArrival,
+    TenantComplete,
+    TenantShed,
+    TenantThrottled,
+)
+from ..obs.metrics import Histogram
+from ..uvm.attribution import TenantAttribution
+from ..uvm.driver import UvmDriver
+from ..workloads.registry import make_workload
+from .admission import AdmissionController
+from .traffic import Arrival, generate_arrivals
+
+#: SeedSequence stream key for per-tenant workload builds; combined
+#: with the tenant id so every tenant gets an independent stream.
+_TENANT_STREAM = 0x7E4A47
+
+
+@dataclass(frozen=True)
+class TenantRecord:
+    """Per-tenant lifecycle summary, one per arrival (shed ones too)."""
+
+    tenant: int
+    workload: str
+    footprint_mb: float
+    arrival_us: float
+    #: Admission time; None when the tenant was shed.
+    admitted_us: float | None
+    #: Time spent between arrival and admission (0.0 when shed).
+    queued_us: float
+    shed: bool
+    #: ``"watermark"``/``"queue_full"`` when shed, else ``""``.
+    shed_reason: str
+    #: Completion time; None when shed.
+    complete_us: float | None
+    waves: int
+    accesses: int
+    p50_wave_latency_us: float | None
+    p99_wave_latency_us: float | None
+    #: Scheduler rounds this tenant sat out under throttling.
+    throttled_rounds: int
+    #: Times the throttle picked this tenant as the heaviest thrasher.
+    throttle_events: int
+    #: Thrash migrations attributed to this tenant's data.
+    thrash_migrations: int
+    #: Blocks this tenant lost to eviction while another tenant's wave
+    #: drove the pressure (eviction interference).
+    cross_evictions: int
+    #: Total blocks this tenant lost to eviction.
+    evicted_blocks: int
+    freed_blocks: int
+    writeback_blocks: int
+
+    def as_dict(self) -> dict:
+        """Flat JSON-safe encoding."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one serve run (JSON-safe via :meth:`as_dict`)."""
+
+    config: ServeConfig
+    #: Active driver kernel backend (after any numba fallback).
+    backend: str
+    arrivals: int
+    admitted: int
+    queued: int
+    shed: int
+    completed: int
+    #: Admission verdicts in decision order: (tenant, action, reason).
+    decisions: tuple[tuple[int, str, str], ...]
+    tenants: tuple[TenantRecord, ...]
+    #: Final simulated clock, microseconds.
+    duration_us: float
+    total_waves: int
+    total_accesses: int
+    accesses_per_second: float
+    p50_wave_latency_us: float | None
+    p99_wave_latency_us: float | None
+    shed_rate: float
+    throttle_events: int
+    peak_live_oversubscription: float
+    #: First engagement time of each degradation stage (None: never).
+    first_throttle_us: float | None
+    first_queue_us: float | None
+    first_shed_us: float | None
+    #: Cumulative driver event counts across the whole run.
+    driver_totals: dict
+
+    def as_dict(self) -> dict:
+        """Flat JSON-safe encoding (archived / printed by the CLI)."""
+        d = dataclasses.asdict(self)
+        d["config"] = self.config.as_dict()
+        d["decisions"] = [list(t) for t in self.decisions]
+        d["tenants"] = [t.as_dict() for t in self.tenants]
+        return d
+
+
+class _Tenant:
+    """Mutable per-tenant lifecycle state inside the session."""
+
+    __slots__ = ("id", "workload_name", "arrival_us", "blocks",
+                 "footprint_mb", "chunk_ids", "stream", "admitted_us",
+                 "queued_us", "shed_reason", "complete_us", "waves",
+                 "accesses", "latency", "throttle_left",
+                 "throttled_rounds", "throttle_events", "freed_blocks",
+                 "writeback_blocks")
+
+    def __init__(self, tid: int, workload_name: str, arrival_us: float,
+                 blocks: int, footprint_mb: float,
+                 chunk_ids: list[int], stream) -> None:
+        self.id = tid
+        self.workload_name = workload_name
+        self.arrival_us = arrival_us
+        self.blocks = blocks
+        self.footprint_mb = footprint_mb
+        self.chunk_ids = chunk_ids
+        self.stream = stream
+        self.admitted_us: float | None = None
+        self.queued_us = 0.0
+        self.shed_reason = ""
+        self.complete_us: float | None = None
+        self.waves = 0
+        self.accesses = 0
+        self.latency = Histogram()
+        self.throttle_left = 0
+        self.throttled_rounds = 0
+        self.throttle_events = 0
+        self.freed_blocks = 0
+        self.writeback_blocks = 0
+
+
+def _wave_stream(workload):
+    """Flatten a workload's kernel launches into one wave iterator."""
+    for launch in workload.kernels():
+        yield from launch.waves()
+
+
+class ServeSession:
+    """One multi-tenant serve run over one shared driver."""
+
+    def __init__(self, config: ServeConfig,
+                 sim_config: SimulationConfig | None = None,
+                 obs=None) -> None:
+        self.config = config.validate()
+        base = sim_config if sim_config is not None else SimulationConfig()
+        #: Driver-level configuration: the serve capacity and seed
+        #: override whatever the base carries; policy/backend/faults
+        #: flow through from the caller's flags.
+        self.sim_config = dataclasses.replace(
+            base.with_device_capacity(config.capacity_bytes),
+            seed=config.seed).validate()
+        self.obs = obs
+        self._bus = obs.bus if obs is not None else None
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self, arrivals: tuple[Arrival, ...]):
+        """Pre-build every tenant's allocations into one shared VAS.
+
+        The allocator is append-only and the driver sizes its arrays at
+        construction, so the whole trace's allocations must exist before
+        the first wave; admission then gates only wave-stream flow.
+        """
+        cfg = self.config
+        vas = VirtualAddressSpace()
+        tenants: list[_Tenant] = []
+        for a in arrivals:
+            workload = make_workload(a.workload, cfg.scale)
+            rng = np.random.default_rng(np.random.SeedSequence(
+                entropy=(cfg.seed, _TENANT_STREAM, a.tenant)))
+            workload.build(vas, rng)
+            allocs = list(workload.allocations.values())
+            for alloc in allocs:
+                # Per-tenant allocation namespace; ManagedAllocation is
+                # frozen, and the instances are shared with the VAS.
+                object.__setattr__(alloc, "name",
+                                   f"t{a.tenant}/{alloc.name}")
+            blocks = sum(al.num_blocks for al in allocs)
+            chunk_ids = [span.chunk_id
+                         for al in allocs for span in al.chunks]
+            tenants.append(_Tenant(
+                a.tenant, a.workload, a.at_us, blocks,
+                sum(al.rounded_bytes for al in allocs) / MB,
+                chunk_ids, _wave_stream(workload)))
+        return vas, tenants
+
+    # -- run loop --------------------------------------------------------
+
+    def run(self) -> ServeResult:
+        """Execute the serve run to completion."""
+        cfg = self.config
+        arrivals = generate_arrivals(cfg)
+        if not arrivals:
+            raise ValueError(
+                "arrival trace is empty: duration_ms cut every arrival; "
+                "raise duration_ms or arrival_rate")
+        vas, tenants = self._build(arrivals)
+        self._tenants = tenants
+        driver = UvmDriver(vas, self.sim_config, obs=self.obs)
+        block_owner = np.full(vas.total_blocks, -1, dtype=np.int32)
+        for t in tenants:
+            for cid in t.chunk_ids:
+                span = vas.chunks[cid]
+                block_owner[span.first_block:span.last_block] = t.id
+        driver.attribution = TenantAttribution(block_owner, len(tenants))
+        self._driver = driver
+        # Self-describing log header: the per-tenant allocation
+        # namespace (t<id>/<name>) lets `repro inspect` attribute
+        # thrashing blocks back to tenants.
+        self._emit(RunMeta(
+            workload="serve:" + "+".join(cfg.workload_mix),
+            policy=self.sim_config.policy.policy.value,
+            seed=cfg.seed,
+            total_blocks=vas.total_blocks,
+            capacity_blocks=driver.device.capacity_blocks,
+            allocations=tuple(
+                (a.name, a.first_block, a.first_block + a.num_blocks)
+                for a in vas.allocations),
+            backend=driver.backend_name,
+            shards=driver.shards))
+        self._pcie = PcieModel(self.sim_config.interconnect,
+                               self.sim_config.gpu)
+        self._timing = TimingModel(self.sim_config, self._pcie)
+        self._clock_mhz = self.sim_config.gpu.clock_mhz
+        self._controller = AdmissionController(
+            driver.device.capacity_blocks, cfg.admit_watermark,
+            cfg.shed_watermark, cfg.queue_depth)
+        self._live: list[_Tenant] = []
+        self._latency = Histogram()
+        self._completed = 0
+        self._throttle_events = 0
+        self._peak_oversub = 0.0
+        self._first_throttle_us: float | None = None
+        self._first_queue_us: float | None = None
+        self._first_shed_us: float | None = None
+
+        now = 0.0
+        pending = deque(arrivals)
+        while pending or self._live or self._controller.queue:
+            while pending and pending[0].at_us <= now:
+                self._offer(pending.popleft(), now)
+            if not self._live:
+                if self._controller.queue:
+                    # Anti-livelock: an idle device force-admits the
+                    # queue head even past the admit watermark.
+                    self._admit_from_queue(now, force=True)
+                    continue
+                if pending:
+                    now = pending[0].at_us
+                    continue
+                break
+            now = self._run_round(now)
+        return self._result(now)
+
+    # -- admission -------------------------------------------------------
+
+    def _offer(self, arrival: Arrival, now: float) -> None:
+        tenant = self._tenants[arrival.tenant]
+        self._emit(TenantArrival(
+            tenant=tenant.id, workload=tenant.workload_name,
+            at_us=arrival.at_us, footprint_mb=tenant.footprint_mb))
+        decision = self._controller.offer(tenant.id, tenant.blocks, now)
+        if decision.action == "admit":
+            self._admit(tenant, now, queued_us=now - tenant.arrival_us)
+        elif decision.action == "queue":
+            if self._first_queue_us is None:
+                self._first_queue_us = now
+        else:
+            tenant.shed_reason = decision.reason
+            if self._first_shed_us is None:
+                self._first_shed_us = now
+            self._emit(TenantShed(
+                tenant=tenant.id, at_us=now, reason=decision.reason,
+                live_oversubscription=decision.live_oversubscription))
+
+    def _admit(self, tenant: _Tenant, now: float, queued_us: float) -> None:
+        tenant.admitted_us = now
+        tenant.queued_us = queued_us
+        self._live.append(tenant)
+        oversub = self._controller.oversubscription
+        self._peak_oversub = max(self._peak_oversub, oversub)
+        self._emit(TenantAdmitted(
+            tenant=tenant.id, at_us=now, queued_us=queued_us,
+            live_oversubscription=oversub))
+        # Footprint only grows through admits, so checking here (not
+        # just per round) guarantees the throttle watermark is seen
+        # before the higher admit/shed watermarks engage.
+        self._maybe_throttle(now)
+
+    def _admit_from_queue(self, now: float, force: bool = False) -> bool:
+        popped = self._controller.pop_admittable(force=force)
+        if popped is None:
+            return False
+        tid, enqueued_at = popped
+        self._admit(self._tenants[tid], now, queued_us=now - enqueued_at)
+        return True
+
+    # -- scheduling ------------------------------------------------------
+
+    def _run_round(self, now: float) -> float:
+        """One round-robin pass: each runnable tenant gets a quantum."""
+        for tenant in list(self._live):
+            if tenant.throttle_left > 0:
+                continue
+            now = self._run_quantum(tenant, now)
+        for tenant in self._live:
+            if tenant.throttle_left > 0:
+                tenant.throttle_left -= 1
+                tenant.throttled_rounds += 1
+        self._maybe_throttle(now)
+        return now
+
+    def _run_quantum(self, tenant: _Tenant, now: float) -> float:
+        driver = self._driver
+        attribution = driver.attribution
+        wave_cycles = self._timing.wave_cycles
+        clock_mhz = self._clock_mhz
+        attribution.current = tenant.id
+        try:
+            for _ in range(self.config.quantum):
+                wave = next(tenant.stream, None)
+                if wave is None:
+                    now = self._complete(tenant, now)
+                    break
+                outcome = driver.process_wave(wave.pages, wave.is_write,
+                                              wave.counts)
+                wave_us = (wave_cycles(outcome, wave.compute_cycles).total
+                           / clock_mhz)
+                now += wave_us
+                tenant.waves += 1
+                tenant.accesses += outcome.n_accesses
+                tenant.latency.observe(wave_us)
+                self._latency.observe(wave_us)
+        finally:
+            attribution.current = -1
+        return now
+
+    def _maybe_throttle(self, now: float) -> None:
+        """Suspend the heaviest-thrashing tenant past the watermark."""
+        cfg = self.config
+        if self._controller.oversubscription < cfg.throttle_watermark:
+            return
+        if any(t.throttle_left > 0 for t in self._live):
+            return  # one suspension at a time
+        runnable = [t for t in self._live if t.throttle_left == 0]
+        if len(runnable) < 2:
+            return  # never suspend the last runnable stream
+        attribution = self._driver.attribution
+        victim = max(runnable,
+                     key=lambda t: (attribution.thrash_of(t.id), -t.id))
+        victim.throttle_left = cfg.throttle_rounds
+        victim.throttle_events += 1
+        self._throttle_events += 1
+        if self._first_throttle_us is None:
+            self._first_throttle_us = now
+        self._emit(TenantThrottled(
+            tenant=victim.id, at_us=now, rounds=cfg.throttle_rounds,
+            thrash_migrations=attribution.thrash_of(victim.id)))
+
+    def _complete(self, tenant: _Tenant, now: float) -> float:
+        """Tear down a drained tenant and drain the admission queue."""
+        freed, writebacks = self._driver.release_chunks(tenant.chunk_ids)
+        tenant.freed_blocks = freed
+        tenant.writeback_blocks = writebacks
+        if writebacks:
+            # Dirty blocks cross PCIe before the frames are reusable.
+            now += self._pcie.writeback_cycles(writebacks) / self._clock_mhz
+        tenant.complete_us = now
+        tenant.throttle_left = 0
+        self._live.remove(tenant)
+        self._controller.release(tenant.blocks)
+        self._completed += 1
+        attribution = self._driver.attribution
+        self._emit(TenantComplete(
+            tenant=tenant.id, at_us=now, waves=tenant.waves,
+            freed_blocks=freed, writeback_blocks=writebacks,
+            p99_wave_latency_us=tenant.latency.quantile(0.99) or 0.0,
+            thrash_migrations=attribution.thrash_of(tenant.id),
+            cross_evictions=int(attribution.cross_evictions[tenant.id])))
+        # Freed footprint drains the queue FIFO.
+        while self._admit_from_queue(now):
+            pass
+        return now
+
+    # -- reporting -------------------------------------------------------
+
+    def _emit(self, event) -> None:
+        if self._bus is not None and self._bus.enabled:
+            self._bus.emit(event)
+
+    def _result(self, now: float) -> ServeResult:
+        controller = self._controller
+        attribution = self._driver.attribution
+        records = []
+        for t in self._tenants:
+            records.append(TenantRecord(
+                tenant=t.id, workload=t.workload_name,
+                footprint_mb=t.footprint_mb, arrival_us=t.arrival_us,
+                admitted_us=t.admitted_us, queued_us=t.queued_us,
+                shed=bool(t.shed_reason), shed_reason=t.shed_reason,
+                complete_us=t.complete_us, waves=t.waves,
+                accesses=t.accesses,
+                p50_wave_latency_us=t.latency.quantile(0.5),
+                p99_wave_latency_us=t.latency.quantile(0.99),
+                throttled_rounds=t.throttled_rounds,
+                throttle_events=t.throttle_events,
+                thrash_migrations=attribution.thrash_of(t.id),
+                cross_evictions=int(attribution.cross_evictions[t.id]),
+                evicted_blocks=int(attribution.evicted_blocks[t.id]),
+                freed_blocks=t.freed_blocks,
+                writeback_blocks=t.writeback_blocks))
+        total_waves = sum(t.waves for t in self._tenants)
+        total_accesses = sum(t.accesses for t in self._tenants)
+        shed_rate = controller.sheds / len(self._tenants)
+        aps = (total_accesses / (now / 1e6)) if now > 0 else 0.0
+        p99 = self._latency.quantile(0.99)
+        result = ServeResult(
+            config=self.config,
+            backend=self._driver.backend_name,
+            arrivals=len(self._tenants),
+            admitted=controller.admits,
+            queued=controller.queued,
+            shed=controller.sheds,
+            completed=self._completed,
+            decisions=tuple((d.tenant, d.action, d.reason)
+                            for d in controller.decisions),
+            tenants=tuple(records),
+            duration_us=now,
+            total_waves=total_waves,
+            total_accesses=total_accesses,
+            accesses_per_second=aps,
+            p50_wave_latency_us=self._latency.quantile(0.5),
+            p99_wave_latency_us=p99,
+            shed_rate=shed_rate,
+            throttle_events=self._throttle_events,
+            peak_live_oversubscription=self._peak_oversub,
+            first_throttle_us=self._first_throttle_us,
+            first_queue_us=self._first_queue_us,
+            first_shed_us=self._first_shed_us,
+            driver_totals=dataclasses.asdict(self._driver.stats.totals))
+        obs = self.obs
+        if obs is not None and obs.metrics is not None:
+            m = obs.metrics
+            m.gauge("serve.accesses_per_second").set(aps)
+            m.gauge("serve.p99_wave_latency_us").set(p99 or 0.0)
+            m.gauge("serve.shed_rate").set(shed_rate)
+            m.gauge("serve.peak_live_oversubscription").set(
+                self._peak_oversub)
+            m.counter("serve.admits").inc(controller.admits)
+            m.counter("serve.queued").inc(controller.queued)
+            m.counter("serve.sheds").inc(controller.sheds)
+            m.counter("serve.throttle_events").inc(self._throttle_events)
+            m.counter("serve.waves").inc(total_waves)
+        return result

@@ -199,6 +199,13 @@ class UvmDriver:
         self.injector: FaultInjector | None = (
             FaultInjector(config.faults, seed=config.seed)
             if config.faults.enabled else None)
+        #: Optional per-tenant eviction/thrash attribution
+        #: (:class:`repro.uvm.attribution.TenantAttribution`), attached
+        #: by the serving layer.  ``None`` (the default) is the
+        #: zero-overhead path: hooks guard on the attribute and the
+        #: plug-in mutates only its own arrays, so attributed runs stay
+        #: bit-identical to bare ones.
+        self.attribution = None
         #: Re-verify accounting invariants after every wave (slow).
         self.debug_invariants = config.debug_invariants
         self.stats = DriverCounters()
@@ -550,6 +557,8 @@ class UvmDriver:
                     thrashy = batch[roundtrips[batch] > 0]
                     out.thrash_migrations += int(thrashy.size)
                     self.stats.thrashed_block_ids.update(thrashy.tolist())
+                    if self.attribution is not None and thrashy.size:
+                        self.attribution.on_thrash(thrashy)
             pending.clear()
             pending_set.clear()
             if pending_dirty:
@@ -636,6 +645,8 @@ class UvmDriver:
                             counters.roundtrips[pf_blocks] > 0]
                         out.thrash_migrations += int(thrashy.size)
                         self.stats.thrashed_block_ids.update(thrashy.tolist())
+                        if self.attribution is not None and thrashy.size:
+                            self.attribution.on_thrash(thrashy)
                 else:
                     # Could not hold the prefetch: roll the leaves back
                     # out of the tree.
@@ -675,6 +686,8 @@ class UvmDriver:
         if self.counters.roundtrips[block] > 0:
             out.thrash_migrations += 1
             self.stats.thrashed_block_ids.add(block)
+            if self.attribution is not None:
+                self.attribution.on_thrash(np.array([block], dtype=np.int64))
 
         if pf_leaves.size:
             pf_blocks = int(self.directory.first_block[cid]) + pf_leaves
@@ -688,6 +701,8 @@ class UvmDriver:
                 thrashy = pf_blocks[self.counters.roundtrips[pf_blocks] > 0]
                 out.thrash_migrations += int(thrashy.size)
                 self.stats.thrashed_block_ids.update(thrashy.tolist())
+                if self.attribution is not None and thrashy.size:
+                    self.attribution.on_thrash(thrashy)
             else:
                 # Could not hold the prefetch: roll the leaves back out of
                 # the tree by clearing and re-marking only true residents.
@@ -797,6 +812,8 @@ class UvmDriver:
         victims = rblocks[order[:n_wanted]]
         first = int(self.directory.first_block[cid])
         self.trees[cid].remove_leaves(victims - first)
+        if self.attribution is not None:
+            self.attribution.on_evict(victims)
         n_dirty = self.residency.evict(victims)
         self.counters.add_roundtrip(victims)
         self.host.accept_eviction(victims)
@@ -822,6 +839,8 @@ class UvmDriver:
         rblocks = chunk_blocks[self.residency.resident[chunk_blocks]]
         if rblocks.size == 0:
             return
+        if self.attribution is not None:
+            self.attribution.on_evict(rblocks)
         n_dirty = self.residency.evict(rblocks)
         self.counters.add_roundtrip(rblocks)
         self.host.accept_eviction(rblocks)
@@ -840,6 +859,46 @@ class UvmDriver:
                                     blocks=int(rblocks.size),
                                     dirty_blocks=n_dirty,
                                     whole_chunk=True))
+
+    # ------------------------------------------------------------------
+    # tenant teardown (serving layer)
+    # ------------------------------------------------------------------
+
+    def release_chunks(self, chunk_ids) -> tuple[int, int]:
+        """Tear down a departing tenant's chunks; used by ``repro serve``.
+
+        Unlike eviction under pressure this is a *free* release: the
+        owner has completed, so freed blocks charge no round-trip
+        counters (a later re-migration of the range by a reincarnated
+        allocation is not thrashing), select no victims, and emit no
+        :class:`~repro.obs.events.Eviction` events.  Dirty blocks still
+        count as write-backs -- the device copy must reach the host
+        before the frames are reused -- and the caller charges that
+        traffic to the timing model.  Remote zero-copy mappings for the
+        range are also dropped.
+
+        Returns ``(freed_blocks, writeback_blocks)``.
+        """
+        freed = 0
+        writebacks = 0
+        for cid in chunk_ids:
+            cid = int(cid)
+            chunk_blocks = self.directory.blocks_of_chunk(cid)
+            rblocks = chunk_blocks[self.residency.resident[chunk_blocks]]
+            if rblocks.size:
+                writebacks += self.residency.evict(rblocks)
+                self.host.accept_eviction(rblocks)
+                self.device.release(int(rblocks.size))
+                self.trees[cid].clear()
+                self.directory.occupancy[cid] = 0
+                freed += int(rblocks.size)
+            self.host.remote_mapped[chunk_blocks] = False
+        if freed:
+            # Victim-ordering caches reflect pre-release residency.
+            self._heat_sum = None
+            self._dirty_cache = None
+            self._lru_order = None
+        return freed, writebacks
 
     # ------------------------------------------------------------------
     # introspection

@@ -22,6 +22,19 @@ the block stays host-pinned and is served over the remote zero-copy
 path -- the same graceful fallback the paper's policies use for cold
 data.
 
+Correlated bursts
+-----------------
+
+Real fault storms are not memoryless: a flaky link drops several
+transfers in a row, then recovers.  Setting
+:attr:`~repro.config.FaultConfig.burst_on_prob` > 0 arms a two-state
+Markov chain (calm/storm) stepped once per migration site; while the
+storm is on, both fault rates are multiplied by
+:attr:`~repro.config.FaultConfig.burst_multiplier`.  This composes
+fault storms with serving-layer overload spikes (``repro serve``)
+without changing the uncorrelated model: with the chain disarmed
+(the default) no extra randomness is consumed.
+
 Determinism contract
 --------------------
 
@@ -32,7 +45,8 @@ Determinism contract
   pure function of ``(config, seed)``: serial and parallel grids agree.
 * A rate of 0.0 short-circuits before any draw, making zero-rate runs
   bit-identical to runs without an injector at all (the property tests
-  pin this).
+  pin this) -- burst fields included: the Markov chain only exists
+  behind non-zero base rates.
 """
 
 from __future__ import annotations
@@ -64,11 +78,20 @@ class FaultInjector:
         self.injected_migration_faults = 0
         #: Injected transfer failures across the run (diagnostics).
         self.injected_transfer_faults = 0
+        #: Markov storm state: True while a correlated burst is active.
+        self._burst_on = False
+        #: Calm<->storm transitions across the run (diagnostics).
+        self.burst_transitions = 0
 
     @property
     def enabled(self) -> bool:
         """Whether any fault class can fire (rate > 0)."""
         return self.config.enabled
+
+    @property
+    def in_burst(self) -> bool:
+        """Whether the correlated fault storm is currently active."""
+        return self._burst_on
 
     def migration_attempt(self) -> tuple[int, bool]:
         """Simulate one block migration against both fault sites.
@@ -77,16 +100,31 @@ class FaultInjector:
         failed attempts (each one costs a wasted transfer plus one
         backoff wait), ``success`` is False when the whole retry budget
         was exhausted and the access must degrade to the remote path.
+
+        With bursts armed, the calm/storm chain is stepped once per
+        call (one migration site), so consecutive migrations see
+        correlated rates; all retries of one site share one storm state.
         """
         cfg = self.config
         rng = self._rng
+        migration_rate = cfg.migration_fault_rate
+        transfer_rate = cfg.transfer_fault_rate
+        if cfg.burst_enabled:
+            flip = (cfg.burst_off_prob if self._burst_on
+                    else cfg.burst_on_prob)
+            if flip > 0.0 and rng.random() < flip:
+                self._burst_on = not self._burst_on
+                self.burst_transitions += 1
+            if self._burst_on:
+                migration_rate *= cfg.burst_multiplier
+                transfer_rate *= cfg.burst_multiplier
         for attempt in range(cfg.max_retries + 1):
-            if (cfg.migration_fault_rate > 0.0
-                    and rng.random() < cfg.migration_fault_rate):
+            if (migration_rate > 0.0
+                    and rng.random() < migration_rate):
                 self.injected_migration_faults += 1
                 continue
-            if (cfg.transfer_fault_rate > 0.0
-                    and rng.random() < cfg.transfer_fault_rate):
+            if (transfer_rate > 0.0
+                    and rng.random() < transfer_rate):
                 self.injected_transfer_faults += 1
                 continue
             return attempt, True

@@ -1,0 +1,94 @@
+"""Unit tests for the ``repro serve`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.arrival_rate == 400.0
+        assert args.tenants == 12
+        assert args.process == "poisson"
+        assert args.shed_watermark == 2.5
+        assert args.mix == "ra,sssp,bfs,fdtd"
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--arrival-rate", "2000", "--tenants", "6",
+             "--duration", "50", "--process", "bursty",
+             "--shed-watermark", "2.0", "--queue-depth", "3",
+             "--mix", "ra,bfs", "--capacity-mb", "24"])
+        assert args.arrival_rate == 2000.0
+        assert args.tenants == 6
+        assert args.duration == 50.0
+        assert args.process == "bursty"
+        assert args.queue_depth == 3
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--process", "sawtooth"])
+
+
+class TestServeExecution:
+    def test_serve_prints_summary(self, capsys):
+        rc = main(["serve", "--tenants", "3", "--seed", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== serve:" in out
+        assert "per-tenant lifecycle" in out
+        assert "peak live oversubscription" in out
+
+    def test_serve_json(self, capsys):
+        rc = main(["serve", "--tenants", "3", "--seed", "0", "--json"])
+        assert rc == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["arrivals"] == 3
+        assert len(d["tenants"]) == 3
+        assert d["config"]["seed"] == 0
+
+    def test_serve_json_deterministic(self, capsys):
+        main(["serve", "--tenants", "3", "--seed", "5", "--json"])
+        a = capsys.readouterr().out
+        main(["serve", "--tenants", "3", "--seed", "5", "--json"])
+        b = capsys.readouterr().out
+        assert a == b
+
+    def test_invalid_mix_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--tenants", "3", "--mix", "ra,nosuch"])
+
+    def test_invalid_watermarks_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--tenants", "3", "--admit-watermark", "3.0",
+                  "--shed-watermark", "2.0"])
+
+    def test_serve_events_log(self, tmp_path, capsys):
+        path = tmp_path / "ev.jsonl"
+        rc = main(["serve", "--tenants", "3", "--seed", "0",
+                   "--events", str(path)])
+        assert rc == 0
+        kinds = {json.loads(line)["event"]
+                 for line in path.read_text().splitlines() if line}
+        assert {"run_meta", "tenant_arrival", "tenant_admitted",
+                "tenant_complete"} <= kinds
+
+    def test_serve_inspect_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "ev.jsonl"
+        main(["serve", "--tenants", "3", "--seed", "0",
+              "--events", str(path)])
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tenants (serve log)" in out
+
+    def test_serve_archives(self, tmp_path, capsys):
+        rc = main(["serve", "--tenants", "3", "--seed", "0",
+                   "--archive", "--runs", str(tmp_path)])
+        assert rc == 0
+        assert main(["runs", "--runs", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out

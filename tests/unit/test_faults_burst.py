@@ -1,0 +1,99 @@
+"""Unit tests for the correlated (Markov-bursty) fault mode."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FaultConfig, MigrationPolicy, SimulationConfig
+from repro.sim.simulator import Simulator
+from repro.uvm.faults import FaultInjector
+from repro.workloads import make_workload
+
+
+class TestBurstConfig:
+    def test_disarmed_by_default(self):
+        cfg = FaultConfig(transfer_fault_rate=0.1)
+        assert not cfg.burst_enabled
+
+    def test_armed_by_on_probability(self):
+        cfg = FaultConfig(transfer_fault_rate=0.05, burst_on_prob=0.02)
+        assert cfg.burst_enabled
+
+    @pytest.mark.parametrize("field", ["burst_on_prob", "burst_off_prob"])
+    def test_probabilities_validated(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: -0.1})
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: 1.5})
+
+    def test_multiplier_must_amplify(self):
+        with pytest.raises(ValueError, match="burst_multiplier"):
+            FaultConfig(burst_multiplier=0.5)
+
+    def test_boosted_rate_must_stay_below_one(self):
+        with pytest.raises(ValueError, match="burst_multiplier"):
+            FaultConfig(transfer_fault_rate=0.2, burst_on_prob=0.1,
+                        burst_multiplier=8.0)
+
+
+class TestBurstInjector:
+    def _injector(self, seed=0, **kw):
+        cfg = FaultConfig(**{"transfer_fault_rate": 0.05,
+                             "burst_on_prob": 0.05,
+                             "burst_off_prob": 0.2,
+                             "burst_multiplier": 4.0, **kw})
+        return FaultInjector(cfg, seed=seed)
+
+    def test_storm_transitions_occur(self):
+        inj = self._injector()
+        for _ in range(2000):
+            inj.migration_attempt()
+        assert inj.burst_transitions > 0
+
+    def test_storm_raises_fault_density(self):
+        calm = FaultInjector(FaultConfig(transfer_fault_rate=0.05), seed=1)
+        bursty = self._injector(seed=1)
+        n = 5000
+        for _ in range(n):
+            calm.migration_attempt()
+            bursty.migration_attempt()
+        assert (bursty.injected_transfer_faults
+                > calm.injected_transfer_faults)
+
+    def test_deterministic_per_seed(self):
+        def trace(seed):
+            inj = self._injector(seed=seed)
+            out = [inj.migration_attempt() for _ in range(500)]
+            return out, inj.burst_transitions, inj.in_burst
+
+        assert trace(3) == trace(3)
+        assert trace(3) != trace(4)
+
+    def test_disarmed_chain_consumes_no_randomness(self):
+        """burst_on_prob=0 must be draw-for-draw identical to the
+        pre-burst fault model (no Markov step before the retry loop)."""
+        plain = FaultInjector(FaultConfig(transfer_fault_rate=0.1), seed=7)
+        disarmed = FaultInjector(FaultConfig(transfer_fault_rate=0.1,
+                                             burst_off_prob=0.9,
+                                             burst_multiplier=16.0), seed=7)
+        for _ in range(500):
+            assert plain.migration_attempt() == disarmed.migration_attempt()
+        assert disarmed.burst_transitions == 0
+
+
+class TestRateZeroBitIdentity:
+    def test_zero_rates_with_burst_fields_change_nothing(self):
+        """Burst knobs behind rate 0.0 keep runs bit-identical to a
+        fault-free build (the injector is never constructed)."""
+        def run(faults):
+            cfg = dataclasses.replace(
+                SimulationConfig(seed=0), faults=faults).with_policy(
+                    MigrationPolicy.ADAPTIVE)
+            r = Simulator(cfg).run(make_workload("ra", "tiny"),
+                                   oversubscription=1.25)
+            return r.total_cycles, r.pages_thrashed, r.events
+
+        base = run(FaultConfig())
+        armed = run(FaultConfig(burst_on_prob=0.5, burst_off_prob=0.5,
+                                burst_multiplier=16.0))
+        assert base == armed

@@ -21,6 +21,11 @@ from repro.obs import (
     PrefetchExpand,
     RingBufferSink,
     RunMeta,
+    TenantAdmitted,
+    TenantArrival,
+    TenantComplete,
+    TenantShed,
+    TenantThrottled,
 )
 from repro.obs.events import EVENT_TYPES, from_dict
 
@@ -49,6 +54,18 @@ class TestEvents:
             CounterHalving(wave=5, field="counts", halvings=1),
             FaultRetry(wave=6, block=9, failures=2, degraded=False),
             PrefetchExpand(wave=7, chunk=1, fault_block=33, blocks=8),
+            TenantArrival(tenant=0, workload="ra", at_us=12.5,
+                          footprint_mb=16.0),
+            TenantAdmitted(tenant=0, at_us=13.0, queued_us=0.5,
+                           live_oversubscription=1.2),
+            TenantShed(tenant=1, at_us=20.0, reason="queue_full",
+                       live_oversubscription=1.7),
+            TenantThrottled(tenant=2, at_us=25.0, rounds=8,
+                            thrash_migrations=40),
+            TenantComplete(tenant=0, at_us=99.0, waves=64,
+                           freed_blocks=256, writeback_blocks=12,
+                           p99_wave_latency_us=410.0,
+                           thrash_migrations=3, cross_evictions=7),
         ]
         assert {type(s) for s in samples} == set(EVENT_TYPES.values())
         for event in samples:

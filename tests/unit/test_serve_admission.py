@@ -1,0 +1,120 @@
+"""Unit tests for the serving layer's admission controller."""
+
+import pytest
+
+from repro.serve import AdmissionController
+
+
+def make(capacity=100, admit=1.5, shed=2.5, depth=2):
+    return AdmissionController(capacity, admit, shed, depth)
+
+
+class TestOffer:
+    def test_admit_under_watermark(self):
+        c = make()
+        d = c.offer(0, 120, at_us=0.0)
+        assert (d.action, d.reason) == ("admit", "")
+        assert c.live_blocks == 120
+        assert c.oversubscription == pytest.approx(1.2)
+
+    def test_admit_exactly_at_watermark(self):
+        c = make()
+        assert c.offer(0, 150, 0.0).action == "admit"
+
+    def test_queue_past_admit_watermark(self):
+        c = make()
+        c.offer(0, 140, 0.0)
+        d = c.offer(1, 40, 1.0)
+        assert d.action == "queue"
+        assert list(c.queue) == [(1, 40, 1.0)]
+        # Queued footprint is not live.
+        assert c.live_blocks == 140
+
+    def test_shed_past_shed_watermark(self):
+        c = make()
+        c.offer(0, 140, 0.0)
+        d = c.offer(1, 200, 1.0)
+        assert (d.action, d.reason) == ("shed", "watermark")
+
+    def test_shed_on_full_queue(self):
+        c = make(depth=1)
+        c.offer(0, 140, 0.0)
+        c.offer(1, 40, 1.0)
+        d = c.offer(2, 40, 2.0)
+        assert (d.action, d.reason) == ("shed", "queue_full")
+
+    def test_never_admit_past_nonempty_queue(self):
+        """A tiny arrival must not overtake a queued predecessor."""
+        c = make()
+        c.offer(0, 140, 0.0)
+        c.offer(1, 60, 1.0)   # queued
+        d = c.offer(2, 1, 2.0)  # would fit, but FIFO order wins
+        assert d.action == "queue"
+
+    def test_counters_track_decisions(self):
+        c = make(depth=1)
+        c.offer(0, 140, 0.0)
+        c.offer(1, 40, 1.0)
+        c.offer(2, 40, 2.0)
+        assert (c.admits, c.queued, c.sheds) == (1, 1, 1)
+        assert [d.action for d in c.decisions] == ["admit", "queue", "shed"]
+
+
+class TestQueueDrain:
+    def test_pop_admits_in_fifo_order(self):
+        c = make(admit=1.0)
+        c.offer(0, 90, 0.0)
+        c.offer(1, 50, 1.0)
+        c.offer(2, 10, 2.0)
+        assert c.pop_admittable() is None  # head does not fit yet
+        c.release(90)
+        assert c.pop_admittable() == (1, 1.0)
+        assert c.pop_admittable() == (2, 2.0)
+        assert c.pop_admittable() is None
+
+    def test_force_admit_marks_idle_reason(self):
+        c = make(admit=1.0)
+        c.offer(0, 100, 0.0)
+        c.offer(1, 120, 1.0)  # queued, never fits under the watermark
+        c.release(100)
+        assert c.pop_admittable() is None
+        assert c.pop_admittable(force=True) == (1, 1.0)
+        assert c.decisions[-1].reason == "idle"
+
+    def test_release_over_release_rejected(self):
+        c = make()
+        c.offer(0, 100, 0.0)
+        with pytest.raises(ValueError):
+            c.release(101)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make(capacity=0)
+        with pytest.raises(ValueError):
+            make(admit=2.0, shed=1.0)
+        with pytest.raises(ValueError):
+            make(depth=0)
+
+
+class TestPurity:
+    def test_decisions_pure_function_of_call_sequence(self):
+        """Same (capacity, watermarks, offers/releases) -> same verdicts."""
+        calls = [("offer", 0, 140, 0.0), ("offer", 1, 40, 1.0),
+                 ("release", 140), ("offer", 2, 200, 2.0),
+                 ("offer", 3, 40, 3.0)]
+
+        def run():
+            c = make(depth=1)
+            for call in calls:
+                if call[0] == "offer":
+                    c.offer(*call[1:])
+                    while c.pop_admittable():
+                        pass
+                else:
+                    c.release(call[1])
+            return [(d.tenant, d.action, d.reason,
+                     d.live_oversubscription) for d in c.decisions]
+
+        assert run() == run()
