@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-accel bench bench-smoke bench-perf \
-	serve-smoke check-regression figures examples check-docs clean
+	serve-smoke config-smoke check-configs check-regression figures \
+	examples check-docs clean
 
 install:
 	pip install -e .
@@ -39,6 +40,17 @@ bench-perf:
 serve-smoke:
 	$(PYTHON) -m repro serve --tenants 6 --arrival-rate 2000 \
 		--queue-depth 2 --shed-watermark 2.0 --json
+
+# Schema-validate and dry-compile the whole scenario library.
+check-configs:
+	$(PYTHON) -m repro config validate configs configs/smoke \
+		configs/section8_throttle
+
+# Run the tiny config-driven scenarios end to end (all three modes),
+# archiving resolved configs under .smoke-runs.
+config-smoke:
+	$(PYTHON) -m repro sweep --config-dir configs/smoke \
+		--archive --runs .smoke-runs
 
 # Gate on the bench history: non-zero exit when perf regressed.
 check-regression:

@@ -15,9 +15,11 @@ NO_OVERSUB < 1) so allocations fit with slack, as on a real device.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
-from ..config import MigrationPolicy, SimulationConfig
+from ..config import (EvictionGranularity, MigrationPolicy, PrefetcherKind,
+                      SimulationConfig)
 from ..sim.results import RunResult
 from ..sim.simulator import Simulator
 from ..trace.replay import TraceWorkload
@@ -106,6 +108,14 @@ def run_single(workload: str, policy: MigrationPolicy,
                transfer_fault_rate: float = 0.0,
                migration_fault_rate: float = 0.0,
                fault_retries: int = 3,
+               fault_burst_on: float = 0.0,
+               fault_burst_off: float = 0.25,
+               fault_burst_mult: float = 8.0,
+               evict: str = "2mb",
+               prefetcher: str = "tree",
+               prefetch_degree: int = 4,
+               threshold_variant: str = "multiplicative",
+               historic_counters: bool = True,
                trace_path: str | None = None,
                backend: str | None = None,
                shards: int | None = None) -> RunResult:
@@ -120,6 +130,15 @@ def run_single(workload: str, policy: MigrationPolicy,
     decision-phase shard count (:mod:`repro.accel`); ``None`` inherits
     the config default (which honours ``REPRO_BACKEND``).  Both are
     pure performance knobs with bit-identical results.
+
+    The remaining knobs cover the rest of the Table I surface --
+    eviction granularity, prefetcher strategy, threshold growth
+    function, historic-counter ablation, and correlated fault storms --
+    so the scenario compiler (:mod:`repro.scenario`) can express every
+    regime as a grid cell.  Each one mutates the config only when it
+    differs from its dataclass default, keeping the constructed config
+    (and thus every result) bit-identical to the narrower historical
+    signature for unchanged arguments.
     """
     cfg = SimulationConfig(seed=seed,
                            collect_page_histogram=collect_histogram,
@@ -129,10 +148,26 @@ def run_single(workload: str, policy: MigrationPolicy,
     if shards is not None:
         cfg = cfg.replace(shards=shards)
     cfg = cfg.with_policy(policy, static_threshold=ts, migration_penalty=p)
+    if threshold_variant != "multiplicative" or not historic_counters:
+        cfg = cfg.replace(policy=dataclasses.replace(
+            cfg.policy, threshold_variant=threshold_variant,
+            historic_counters=historic_counters))
+    if evict != "2mb":
+        cfg = cfg.with_eviction_granularity(
+            EvictionGranularity.BLOCK_64KB if evict == "64kb"
+            else EvictionGranularity(evict))
+    if prefetcher != "tree" or prefetch_degree != 4:
+        cfg = cfg.with_prefetcher(PrefetcherKind(prefetcher),
+                                  degree=prefetch_degree)
     if transfer_fault_rate or migration_fault_rate:
-        cfg = cfg.with_faults(transfer_fault_rate=transfer_fault_rate,
-                              migration_fault_rate=migration_fault_rate,
-                              max_retries=fault_retries)
+        fault_kwargs = dict(transfer_fault_rate=transfer_fault_rate,
+                            migration_fault_rate=migration_fault_rate,
+                            max_retries=fault_retries)
+        if fault_burst_on:
+            fault_kwargs.update(burst_on_prob=fault_burst_on,
+                                burst_off_prob=fault_burst_off,
+                                burst_multiplier=fault_burst_mult)
+        cfg = cfg.with_faults(**fault_kwargs)
     if trace_path is not None:
         wl: "object" = TraceWorkload(trace_path)
     else:

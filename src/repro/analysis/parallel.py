@@ -72,6 +72,20 @@ class GridCell:
     transfer_fault_rate: float = 0.0
     migration_fault_rate: float = 0.0
     fault_retries: int = 3
+    #: Correlated fault-storm chain (Markov burst modulation of the
+    #: fault rates); 0.0 ``fault_burst_on`` disables the chain.
+    fault_burst_on: float = 0.0
+    fault_burst_off: float = 0.25
+    fault_burst_mult: float = 8.0
+    #: Eviction granularity (``2mb`` or ``64kb``, Table I).
+    evict: str = "2mb"
+    #: Prefetcher strategy and degree (Table I: tree-based default).
+    prefetcher: str = "tree"
+    prefetch_degree: int = 4
+    #: Equation-1 growth function and the historic-counter ablation
+    #: (see :class:`repro.config.PolicyConfig`).
+    threshold_variant: str = "multiplicative"
+    historic_counters: bool = True
     #: Replay the access stream from this recorded trace (an ``.npz``
     #: file or mmap-able trace directory) instead of regenerating it.
     #: A pure performance hint: replay is bit-identical to live
@@ -221,6 +235,13 @@ def run_cell(cell: GridCell) -> RunResult:
                       transfer_fault_rate=cell.transfer_fault_rate,
                       migration_fault_rate=cell.migration_fault_rate,
                       fault_retries=cell.fault_retries,
+                      fault_burst_on=cell.fault_burst_on,
+                      fault_burst_off=cell.fault_burst_off,
+                      fault_burst_mult=cell.fault_burst_mult,
+                      evict=cell.evict, prefetcher=cell.prefetcher,
+                      prefetch_degree=cell.prefetch_degree,
+                      threshold_variant=cell.threshold_variant,
+                      historic_counters=cell.historic_counters,
                       trace_path=cell.trace_path,
                       backend=cell.backend, shards=cell.shards)
 

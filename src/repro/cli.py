@@ -32,8 +32,19 @@ Commands
     Compare two archived runs: per-metric deltas, config changes, and
     (when both event logs were archived) round-trip quantiles,
     thrashing-set differences and ``t_d`` trajectories.
+``config``
+    Validate declarative scenario configs (``repro config validate``)
+    or print one fully resolved (``repro config show``); the scenario
+    format is documented in ``docs/scenarios.md``.
 ``list``
     Show available workloads, scales, policies and figures.
+
+``run``, ``sweep`` and ``serve`` also accept declarative YAML scenario
+configs (``--config scenario.yaml``; for ``sweep`` additionally
+``--config-dir configs/``) in place of flags -- see the ``configs/``
+library and ``docs/scenarios.md``.  Archived config-driven runs embed
+the fully resolved scenario in their manifest, so ``repro diff``
+explains them by scenario-key deltas.
 
 The simulation commands (``run``, ``trace replay``) accept the
 observability flags ``--events out.jsonl[.gz]`` (structured event
@@ -174,14 +185,20 @@ def _make_obs(args):
                                 profile=profile, timeline=bool(timeline))
 
 
-def _begin_archive(args, cfg, workload_name: str, obs):
+def _begin_archive(args, cfg, workload_name: str, obs,
+                   scenario: dict | None = None,
+                   scale: str | None = None,
+                   oversub: float | None = None):
     """Open a run-archive slot and stream the event log into it.
 
     Returns the open :class:`~repro.obs.store.RunWriter` (or ``None``
     when ``--archive`` is off).  The manifest -- and with it the
     content-addressed run id -- is derived *before* the simulation
     runs, so the archived event log can be written in place rather
-    than copied afterwards.
+    than copied afterwards.  ``scenario`` (a fully resolved scenario
+    mapping) is embedded in the manifest config and named in
+    ``manifest.scenario`` for config-driven runs, so ``repro diff``
+    can explain two runs by their scenario deltas.
     """
     if not getattr(args, "archive", False):
         return None
@@ -189,12 +206,18 @@ def _begin_archive(args, cfg, workload_name: str, obs):
     from .obs import JsonlSink
     from .obs.store import RunManifest, RunStore, git_info
     store = RunStore(getattr(args, "runs", None))
+    config = encode_config(cfg)
+    if scenario is not None:
+        config = {"sim": config, "scenario": scenario}
     manifest = RunManifest.create(
         kind="run", workload=workload_name,
         policy=cfg.policy.policy.value,
-        scale=getattr(args, "scale", "-"), seed=cfg.seed,
-        oversubscription=getattr(args, "oversub", None),
-        config=encode_config(cfg), git=git_info())
+        scale=scale if scale is not None else getattr(args, "scale", "-"),
+        seed=cfg.seed,
+        oversubscription=(oversub if oversub is not None
+                          else getattr(args, "oversub", None)),
+        config=config, git=git_info(),
+        scenario=scenario.get("name") if scenario is not None else None)
     writer = store.open_run(manifest)
     obs.bus.attach(JsonlSink(writer.events_path))
     return writer
@@ -246,7 +269,78 @@ def _print_summary(result) -> None:
                              "sum may exceed total)"))
 
 
+def _load_scenario_file(path: str, command: str) -> dict:
+    """Load + validate one scenario file, mapping errors to CLI exits."""
+    from .scenario import ScenarioError, load_scenario
+    try:
+        return load_scenario(path)
+    except ScenarioError as exc:
+        raise SystemExit(f"repro {command}: {exc}") from None
+
+
+def _run_scenario_batch(args, scenarios, command: str, jobs: int = 1,
+                        grid=None) -> int:
+    """Execute scenarios through the batch runner; print per-scenario
+    tables."""
+    from .scenario import ScenarioError, run_scenarios
+    store = None
+    if grid is None and getattr(args, "archive", False):
+        from .obs.store import RunStore
+        store = RunStore(getattr(args, "runs", None))
+    try:
+        outcomes = run_scenarios(scenarios, jobs=jobs, options=grid,
+                                 store=store)
+    except (ScenarioError, ValueError) as exc:
+        raise SystemExit(f"repro {command}: {exc}") from None
+    print("\n\n".join(o.render() for o in outcomes))
+    return 0
+
+
+def _cmd_run_config(args) -> int:
+    """``repro run --config scenario.yaml``."""
+    scenario = _load_scenario_file(args.config, "run")
+    if scenario.get("mode", "run") != "run":
+        # Sweeps, serve and multigpu scenarios still run (batch path,
+        # compact output); the detailed single-run report below only
+        # makes sense for one simulation.
+        return _run_scenario_batch(args, [scenario], "run")
+    from .scenario import ScenarioError, build_sim_config
+    from .scenario.schema import flatten
+    try:
+        cfg = build_sim_config(scenario)
+    except (ScenarioError, ValueError) as exc:
+        raise SystemExit(f"repro run: {exc}") from None
+    # CLI-only observability overlays compose with any config.
+    if getattr(args, "histogram", False):
+        cfg = cfg.replace(collect_page_histogram=True)
+    if getattr(args, "debug_invariants", False):
+        cfg = cfg.replace(debug_invariants=True)
+    flat = flatten(scenario)
+    scale = flat.get("scale") or "small"
+    oversub = float(flat["oversubscription"]
+                    if flat.get("oversubscription") is not None else 1.25)
+    wl = _make_workload(flat["workload"], scale)
+    obs = _make_obs(args)
+    archive = _begin_archive(args, cfg, wl.name, obs, scenario=scenario,
+                             scale=scale, oversub=oversub)
+    result = Simulator(cfg).run(wl, oversubscription=oversub, obs=obs)
+    _print_summary(result)
+    _finish_obs(obs, args)
+    _finish_archive(archive, result, obs)
+    if args.histogram:
+        _print_histogram(result)
+    return 0
+
+
 def cmd_run(args) -> int:
+    if args.config:
+        if args.workload is not None:
+            raise SystemExit("repro run: give either a workload or "
+                             "--config, not both")
+        return _cmd_run_config(args)
+    if args.workload is None:
+        raise SystemExit("repro run: a workload name or --config "
+                         "scenario.yaml is required")
     cfg = _build_config(args)
     wl = _make_workload(args.workload, args.scale)
     obs = _make_obs(args)
@@ -256,15 +350,19 @@ def cmd_run(args) -> int:
     _finish_obs(obs, args)
     _finish_archive(archive, result, obs)
     if args.histogram:
-        rows = [[s["name"], s["pages"], s["reads"], s["writes"],
-                 round(s["accesses_per_page"], 1),
-                 "RO" if s["read_only"] else "RW"]
-                for s in result.stats.allocation_summary()]
-        print()
-        print(format_table(
-            ["allocation", "pages", "reads", "writes", "acc/page", "type"],
-            rows, title="-- access histogram per allocation"))
+        _print_histogram(result)
     return 0
+
+
+def _print_histogram(result) -> None:
+    rows = [[s["name"], s["pages"], s["reads"], s["writes"],
+             round(s["accesses_per_page"], 1),
+             "RO" if s["read_only"] else "RW"]
+            for s in result.stats.allocation_summary()]
+    print()
+    print(format_table(
+        ["allocation", "pages", "reads", "writes", "acc/page", "type"],
+        rows, title="-- access histogram per allocation"))
 
 
 def cmd_compare(args) -> int:
@@ -343,7 +441,35 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_sweep_config(args) -> int:
+    """``repro sweep --config-dir DIR`` / ``--config scenario.yaml``."""
+    from .scenario import ScenarioError, load_directory
+    if args.config_dir:
+        try:
+            scenarios = load_directory(args.config_dir)
+        except ScenarioError as exc:
+            raise SystemExit(f"repro sweep: {exc}") from None
+    else:
+        scenarios = [_load_scenario_file(args.config, "sweep")]
+    grid = _grid_options(args)
+    status = _run_scenario_batch(args, scenarios, "sweep", jobs=args.jobs,
+                                 grid=grid)
+    _finish_grid_metrics(grid, args)
+    return status
+
+
 def cmd_sweep(args) -> int:
+    if args.config or args.config_dir:
+        if args.config and args.config_dir:
+            raise SystemExit("repro sweep: give either --config or "
+                             "--config-dir, not both")
+        if args.workload is not None:
+            raise SystemExit("repro sweep: give either a workload or "
+                             "--config/--config-dir, not both")
+        return _cmd_sweep_config(args)
+    if args.workload is None:
+        raise SystemExit("repro sweep: a workload name or "
+                         "--config/--config-dir is required")
     grid = _grid_options(args)
     if args.fault_rates:
         try:
@@ -392,7 +518,8 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def _begin_serve_archive(args, serve_cfg, sim_cfg, obs):
+def _begin_serve_archive(args, serve_cfg, sim_cfg, obs,
+                         scenario: dict | None = None):
     """Open a ``kind="serve"`` archive slot (or ``None``)."""
     if not getattr(args, "archive", False):
         return None
@@ -400,13 +527,15 @@ def _begin_serve_archive(args, serve_cfg, sim_cfg, obs):
     from .obs import JsonlSink
     from .obs.store import RunManifest, RunStore, git_info
     store = RunStore(getattr(args, "runs", None))
+    config = {"serve": serve_cfg.as_dict(), "sim": encode_config(sim_cfg)}
+    if scenario is not None:
+        config["scenario"] = scenario
     manifest = RunManifest.create(
         kind="serve", workload="+".join(serve_cfg.workload_mix),
         policy=sim_cfg.policy.policy.value, scale=serve_cfg.scale,
         seed=serve_cfg.seed, oversubscription=None,
-        config={"serve": serve_cfg.as_dict(),
-                "sim": encode_config(sim_cfg)},
-        git=git_info())
+        config=config, git=git_info(),
+        scenario=scenario.get("name") if scenario is not None else None)
     writer = store.open_run(manifest)
     obs.bus.attach(JsonlSink(writer.events_path))
     return writer
@@ -463,9 +592,53 @@ def _print_serve_summary(result) -> None:
         rows, title="-- per-tenant lifecycle"))
 
 
+def _cmd_serve_config(args) -> int:
+    """``repro serve --config scenario.yaml``."""
+    from .serve import ServeSession
+    from .scenario import (ScenarioError, build_serve_config,
+                           build_sim_config, expand)
+    scenario = _load_scenario_file(args.config, "serve")
+    if scenario.get("mode", "run") != "serve":
+        raise SystemExit(
+            f"repro serve: {scenario.get('name')} has mode "
+            f"{scenario.get('mode', 'run')!r}; `repro serve --config` "
+            "needs mode: serve (other modes run via `repro run --config` "
+            "or `repro sweep --config-dir`)")
+    variants = expand(scenario)
+    if len(variants) > 1:
+        # A swept serve scenario: batch path with one row per variant.
+        return _run_scenario_batch(args, [scenario], "serve")
+    try:
+        serve_cfg = build_serve_config(variants[0].data)
+        sim_cfg = build_sim_config(variants[0].data)
+    except (ScenarioError, ValueError) as exc:
+        raise SystemExit(f"repro serve: {exc}") from None
+    obs = _make_obs(args)
+    archive = _begin_serve_archive(args, serve_cfg, sim_cfg, obs,
+                                   scenario=scenario)
+    try:
+        result = ServeSession(serve_cfg, sim_config=sim_cfg, obs=obs,
+                              scenario=scenario.get("name")).run()
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}") from None
+    if args.json:
+        import json as _json
+        print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        _print_serve_summary(result)
+    _finish_obs(obs, args)
+    if archive is not None:
+        metrics = obs.metrics.as_dict() if obs.metrics is not None else None
+        run_id = archive.commit_dict(result.as_dict(), metrics=metrics)
+        print(f"[archived as {run_id}; list with `repro runs`]")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .config import ServeConfig
     from .serve import ServeSession
+    if args.config:
+        return _cmd_serve_config(args)
     sim_cfg = _build_config(args)
     mix = tuple(w.strip() for w in args.mix.split(",") if w.strip())
     known = workload_names(extended=True)
@@ -558,6 +731,55 @@ def cmd_diff(args) -> int:
         print(_json.dumps(diff.as_dict(), indent=2, sort_keys=True))
     else:
         print(render_diff(diff))
+    return 0
+
+
+def _collect_scenario_paths(paths, command: str):
+    """Expand files/directories into runnable scenario file paths."""
+    import os
+    from .scenario import ScenarioError, scenario_files
+    collected = []
+    for path in paths:
+        if os.path.isdir(path):
+            try:
+                collected.extend(scenario_files(path))
+            except ScenarioError as exc:
+                raise SystemExit(f"repro {command}: {exc}") from None
+        else:
+            collected.append(path)
+    return collected
+
+
+def cmd_config(args) -> int:
+    from .scenario import ScenarioError, compile_check, load_scenario
+    if args.config_cmd == "show":
+        import json as _json
+        scenario = _load_scenario_file(args.path, "config")
+        try:
+            labels = compile_check(scenario)
+        except ScenarioError as exc:
+            raise SystemExit(f"repro config: {exc}") from None
+        print(_json.dumps(scenario, indent=2, sort_keys=True))
+        if len(labels) > 1 or "sweep" in scenario:
+            print(f"\n# expands to {len(labels)} variant(s):")
+            for label in labels:
+                print(f"#   {label}")
+        return 0
+    # validate
+    failures = 0
+    for path in _collect_scenario_paths(args.paths, "config"):
+        try:
+            scenario = load_scenario(path)
+            labels = compile_check(scenario)
+        except ScenarioError as exc:
+            print(f"FAIL {path}\n  {exc}")
+            failures += 1
+            continue
+        suffix = (f" ({len(labels)} variants)" if len(labels) > 1 else "")
+        print(f"ok   {path} [{scenario.get('mode', 'run')}]{suffix}")
+    if failures:
+        print(f"\n{failures} scenario(s) failed validation")
+        return 1
     return 0
 
 
@@ -717,8 +939,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("run", help="simulate one workload")
-    p.add_argument("workload", type=_workload_arg,
-                   help="workload name (see `repro list`)")
+    p.add_argument("workload", type=_workload_arg, nargs="?", default=None,
+                   help="workload name (see `repro list`); omit when "
+                        "using --config")
+    p.add_argument("--config", default=None, metavar="YAML",
+                   help="run a declarative scenario config instead of "
+                        "flags (see docs/scenarios.md; flags other than "
+                        "the observability ones are ignored)")
     p.add_argument("--scale", default="small", choices=SCALES)
     p.add_argument("--histogram", action="store_true",
                    help="collect per-allocation access histograms")
@@ -747,8 +974,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("sweep", help="oversubscription sweep on one workload")
-    p.add_argument("workload", type=_workload_arg,
-                   help="workload name (see `repro list`)")
+    p.add_argument("workload", type=_workload_arg, nargs="?", default=None,
+                   help="workload name (see `repro list`); omit when "
+                        "using --config/--config-dir")
+    p.add_argument("--config", default=None, metavar="YAML",
+                   help="run one declarative scenario config "
+                        "(sweep axes expand to the experiment grid)")
+    p.add_argument("--config-dir", default=None, metavar="DIR",
+                   help="run every scenario in a config directory "
+                        "(files starting with '_' are inheritance "
+                        "bases and are skipped); all grid cells share "
+                        "one worker pool")
     p.add_argument("--scale", default="small", choices=SCALES)
     p.add_argument("--levels",
                    default=",".join(str(l) for l in analysis.DEFAULT_LEVELS),
@@ -783,6 +1019,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help="multi-tenant open-loop serving run")
     from .config import KNOWN_ARRIVAL_PROCESSES
+    p.add_argument("--config", default=None, metavar="YAML",
+                   help="run a mode: serve scenario config instead of "
+                        "flags (see docs/scenarios.md)")
     p.add_argument("--arrival-rate", type=float, default=400.0,
                    metavar="PER_S",
                    help="tenant arrivals per second of simulated time "
@@ -853,6 +1092,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "delta is reported as noise (default 1.0)")
     _add_runs_arg(p)
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("config",
+                       help="validate or show declarative scenario configs")
+    csub = p.add_subparsers(dest="config_cmd", required=True)
+    pv = csub.add_parser("validate",
+                         help="resolve, schema-check and dry-compile "
+                              "scenario files or config directories")
+    pv.add_argument("paths", nargs="+", metavar="PATH",
+                    help="scenario YAML files and/or config directories")
+    pv.set_defaults(func=cmd_config)
+    ps = csub.add_parser("show",
+                         help="print one scenario fully resolved "
+                              "(post-inheritance) plus its sweep variants")
+    ps.add_argument("path", metavar="YAML", help="scenario file")
+    ps.set_defaults(func=cmd_config)
 
     p = sub.add_parser("list", help="show available names")
     p.set_defaults(func=cmd_list)

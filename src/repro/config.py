@@ -19,6 +19,11 @@ from .memory.layout import BASIC_BLOCK_SIZE, CHUNK_SIZE, GB, MB, PAGE_SIZE
 #: Backends the driver's hot-loop kernels can run on (see repro.accel).
 KNOWN_BACKENDS: tuple[str, ...] = ("python", "numba")
 
+#: Threshold growth functions accepted by PolicyConfig.threshold_variant
+#: (Equation 1 plus the design-space variants of repro.core.variants).
+KNOWN_THRESHOLD_VARIANTS: tuple[str, ...] = (
+    "multiplicative", "linear", "exponential", "occupancy-only")
+
 
 def default_backend() -> str:
     """Backend selected by ``REPRO_BACKEND`` (``python`` when unset).
@@ -215,11 +220,10 @@ class PolicyConfig:
             raise ValueError("migration penalty must be >= 1")
         if self.counter_bits + self.roundtrip_bits != 32:
             raise ValueError("counter register must total 32 bits")
-        known = ("multiplicative", "linear", "exponential", "occupancy-only")
-        if self.threshold_variant not in known:
+        if self.threshold_variant not in KNOWN_THRESHOLD_VARIANTS:
             raise ValueError(
                 f"unknown threshold variant {self.threshold_variant!r}; "
-                f"choose from {known}")
+                f"choose from {KNOWN_THRESHOLD_VARIANTS}")
 
     @property
     def counter_max(self) -> int:

@@ -1,5 +1,5 @@
 """Multi-GPU collaborative execution (paper future work, Section VIII)."""
 
-from .cluster import MultiGpuResult, MultiGpuSimulator
+from .cluster import KNOWN_PARTITIONS, MultiGpuResult, MultiGpuSimulator
 
-__all__ = ["MultiGpuResult", "MultiGpuSimulator"]
+__all__ = ["KNOWN_PARTITIONS", "MultiGpuResult", "MultiGpuSimulator"]

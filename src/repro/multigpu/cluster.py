@@ -35,6 +35,18 @@ from ..sim.results import RunResult
 from ..uvm.driver import UvmDriver, WaveOutcome
 from ..workloads.base import Workload
 
+#: Wave-stream partition strategies: how virtual pages map to devices.
+#:
+#: * ``chunk`` -- 2MB chunks round-robin across GPUs (the default; the
+#:   data-parallel decomposition a collaborative UVM application uses);
+#: * ``block`` -- 64KB basic blocks round-robin, a finer interleave that
+#:   spreads hot chunks across devices at the cost of more cross-device
+#:   wave splitting;
+#: * ``span`` -- contiguous spans: the address space is cut into N
+#:   equal chunk ranges, GPU ``g`` owning the ``g``-th range (the
+#:   static partitioning of an explicitly-decomposed application).
+KNOWN_PARTITIONS: tuple[str, ...] = ("chunk", "block", "span")
+
 
 @dataclass
 class MultiGpuResult:
@@ -52,6 +64,8 @@ class MultiGpuResult:
     per_gpu_timing: list[WaveTiming] = field(repr=False, default=None)
     footprint_bytes: int = 0
     capacity_per_gpu_bytes: int = 0
+    #: Partition strategy the wave stream was split with.
+    partition: str = "chunk"
 
     @property
     def total_thrash(self) -> int:
@@ -76,14 +90,22 @@ class MultiGpuSimulator:
     """Bulk-synchronous collaborative execution across N devices."""
 
     def __init__(self, config: SimulationConfig | None = None,
-                 num_gpus: int = 2, throttle: float = 1.0) -> None:
+                 num_gpus: int = 2, throttle: float = 1.0,
+                 partition: str = "chunk") -> None:
         if num_gpus < 1:
             raise ValueError("need at least one GPU")
         if not 0.0 < throttle <= 1.0:
             raise ValueError("throttle must be in (0, 1]")
+        if partition not in KNOWN_PARTITIONS:
+            raise ValueError(f"unknown partition strategy {partition!r}; "
+                             f"choose from {KNOWN_PARTITIONS}")
         self.config = config or SimulationConfig()
         self.num_gpus = num_gpus
         self.throttle = throttle
+        self.partition = partition
+        #: Chunks in the running workload's address space (set per run;
+        #: the ``span`` strategy needs the total to cut equal ranges).
+        self._num_chunks = 1
 
     def run(self, workload: Workload,
             oversubscription: float | None = None) -> MultiGpuResult:
@@ -99,6 +121,7 @@ class MultiGpuSimulator:
         workload.build(vas, rng)
         if not vas.allocations:
             raise ValueError(f"workload {workload.name!r} allocated nothing")
+        self._num_chunks = max(len(vas.chunks), 1)
 
         config = self.config
         if oversubscription is not None:
@@ -152,8 +175,15 @@ class MultiGpuSimulator:
             per_gpu_timing=breakdowns,
             footprint_bytes=vas.footprint_bytes,
             capacity_per_gpu_bytes=usable,
+            partition=self.partition,
         )
 
     def _owners(self, pages: np.ndarray) -> np.ndarray:
-        """Device owning each accessed page (chunk-granular round robin)."""
-        return (pages // layout.PAGES_PER_CHUNK) % self.num_gpus
+        """Device owning each accessed page (see :data:`KNOWN_PARTITIONS`)."""
+        if self.partition == "block":
+            return (pages // layout.PAGES_PER_BLOCK) % self.num_gpus
+        chunk_ids = pages // layout.PAGES_PER_CHUNK
+        if self.partition == "span":
+            owners = chunk_ids * self.num_gpus // self._num_chunks
+            return np.minimum(owners, self.num_gpus - 1)
+        return chunk_ids % self.num_gpus

@@ -116,12 +116,20 @@ class RunManifest:
     created: float
     #: Shared id grouping the cells of one archived grid.
     sweep_id: str | None = None
+    #: Name of the scenario config the run was compiled from
+    #: (``repro run --config`` / ``repro sweep --config-dir``), or
+    #: ``None`` for flag-driven runs.  Part of the identity when set,
+    #: so the same cell archived via a scenario and via flags occupies
+    #: distinct slots (their ``config`` payloads differ anyway: the
+    #: scenario one embeds the resolved YAML).
+    scenario: str | None = None
 
     @classmethod
     def create(cls, kind: str, workload: str, policy: str, scale: str,
                seed: int, oversubscription: float | None, config: dict,
                git: dict | None = None, host: dict | None = None,
-               sweep_id: str | None = None) -> "RunManifest":
+               sweep_id: str | None = None,
+               scenario: str | None = None) -> "RunManifest":
         """Build a manifest, deriving ``run_id`` from the content."""
         identity = {
             "kind": kind,
@@ -134,12 +142,17 @@ class RunManifest:
             "sweep_id": sweep_id,
             "git_sha": git["sha"] if git else None,
         }
+        if scenario is not None:
+            # Only when set, so pre-existing flag-driven archives keep
+            # their content addresses.
+            identity["scenario"] = scenario
         return cls(run_id=_digest(identity), kind=kind, workload=workload,
                    policy=policy, scale=scale, seed=seed,
                    oversubscription=oversubscription,
                    config_hash=config_fingerprint(config), config=config,
                    git=git, host=host if host is not None else host_info(),
-                   created=time.time(), sweep_id=sweep_id)
+                   created=time.time(), sweep_id=sweep_id,
+                   scenario=scenario)
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -1,0 +1,157 @@
+"""Load scenario YAML files and resolve ``inherits:`` chains.
+
+Inheritance is a recursive deep merge: a scenario names one or more
+bases (``inherits: _base`` or ``inherits: [a, b]``), each base is
+loaded and resolved the same way, and the child is merged *over* the
+result.  Mappings merge key-by-key (recursively); scalars and lists in
+the child replace the base value wholesale; an explicit ``null`` in
+the child resets the key to its built-in default.  With several bases,
+later ones win over earlier ones, and the child wins over all.
+
+Base references resolve relative to the referring file's directory
+first, then the config root (the directory handed to
+:func:`load_directory`, or the file's own directory for a bare
+:func:`load_scenario`), with or without a ``.yaml``/``.yml`` suffix.
+Cycles are detected on the resolved-path stack and reported with the
+full chain.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .schema import ScenarioError, validate
+
+try:  # PyYAML is a hard dependency of the scenario layer only.
+    import yaml
+except ImportError:  # pragma: no cover - exercised on minimal images
+    yaml = None
+
+#: Suffixes tried when an ``inherits:`` reference has none.
+_SUFFIXES = ("", ".yaml", ".yml")
+
+
+def _require_yaml() -> None:
+    if yaml is None:  # pragma: no cover
+        raise ScenarioError(
+            "PyYAML is required for scenario configs (pip install pyyaml)")
+
+
+def deep_merge(base: dict, override: dict) -> dict:
+    """Merge ``override`` over ``base`` recursively; returns a new dict.
+
+    Nested mappings merge key-by-key; any other value in ``override``
+    (scalar, list, null) replaces the base value.  Neither input is
+    mutated.
+    """
+    merged = dict(base)
+    for key, value in override.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def _load_yaml(path: Path) -> dict:
+    _require_yaml()
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {path}: {exc}") from exc
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise ScenarioError(f"invalid YAML in {path}: {exc}") from exc
+    if data is None:
+        data = {}
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"{path}: scenario must be a YAML mapping, got "
+            f"{type(data).__name__}")
+    return data
+
+
+def _resolve_ref(ref: str, relative_to: Path, root: Path) -> Path:
+    """Locate the file an ``inherits:`` reference names."""
+    candidates = []
+    for base_dir in (relative_to, root):
+        for suffix in _SUFFIXES:
+            candidates.append(base_dir / f"{ref}{suffix}")
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate.resolve()
+    tried = ", ".join(str(c) for c in dict.fromkeys(candidates))
+    raise ScenarioError(
+        f"inherits: cannot find base {ref!r} (tried {tried})")
+
+
+def _resolve(path: Path, root: Path, stack: tuple[Path, ...]) -> dict:
+    path = path.resolve()
+    if path in stack:
+        chain = " -> ".join(p.name for p in stack + (path,))
+        raise ScenarioError(f"inherits: cycle detected: {chain}")
+    data = _load_yaml(path)
+    refs = data.pop("inherits", None)
+    if refs is None:
+        return data
+    if isinstance(refs, str):
+        refs = [refs]
+    if (not isinstance(refs, list)
+            or not all(isinstance(r, str) for r in refs)):
+        raise ScenarioError(
+            f"{path}: inherits must be a name or list of names, "
+            f"got {refs!r}")
+    merged: dict = {}
+    for ref in refs:
+        base_path = _resolve_ref(ref, path.parent, root)
+        merged = deep_merge(
+            merged, _resolve(base_path, root, stack + (path,)))
+    return deep_merge(merged, data)
+
+
+def load_scenario(path: str | Path, root: str | Path | None = None) -> dict:
+    """Load one scenario file, resolve inheritance, and validate it.
+
+    Returns the fully resolved mapping with ``inherits:`` consumed and
+    ``name`` defaulted to the file stem.  ``root`` is the extra
+    directory base references resolve against (defaults to the file's
+    own directory).
+    """
+    path = Path(path)
+    root = Path(root) if root is not None else path.parent
+    data = _resolve(path, root, ())
+    data.setdefault("name", path.stem)
+    return validate(data, source=str(path))
+
+
+def is_base(path: str | Path) -> bool:
+    """Underscore-prefixed files are inheritable bases, not scenarios."""
+    return Path(path).name.startswith("_")
+
+
+def scenario_files(directory: str | Path) -> list[Path]:
+    """Runnable scenario files under ``directory``, sorted by name.
+
+    The scan is non-recursive: sub-directories are independent scenario
+    sets (e.g. ``configs/smoke/``).  Files starting with ``_`` are
+    bases meant only for ``inherits:`` and are skipped.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ScenarioError(f"not a config directory: {directory}")
+    files = sorted(
+        p for p in directory.iterdir()
+        if p.suffix in (".yaml", ".yml") and not is_base(p))
+    if not files:
+        raise ScenarioError(
+            f"no scenario files (*.yaml) in {directory} -- files starting "
+            "with '_' are inheritance bases and do not run")
+    return files
+
+
+def load_directory(directory: str | Path) -> list[dict]:
+    """Load every runnable scenario in a config directory, in name order."""
+    directory = Path(directory)
+    return [load_scenario(p, root=directory)
+            for p in scenario_files(directory)]

@@ -137,6 +137,9 @@ class ServeResult:
     first_shed_us: float | None
     #: Cumulative driver event counts across the whole run.
     driver_totals: dict
+    #: Name of the scenario config the run was launched from (``repro
+    #: serve --config``), or ``None`` for a flag-driven run.
+    scenario: str | None = None
 
     def as_dict(self) -> dict:
         """Flat JSON-safe encoding (archived / printed by the CLI)."""
@@ -192,8 +195,11 @@ class ServeSession:
 
     def __init__(self, config: ServeConfig,
                  sim_config: SimulationConfig | None = None,
-                 obs=None) -> None:
+                 obs=None, scenario: str | None = None) -> None:
         self.config = config.validate()
+        #: Scenario name stamped onto the result (purely provenance:
+        #: it never affects execution).
+        self.scenario = scenario
         base = sim_config if sim_config is not None else SimulationConfig()
         #: Driver-level configuration: the serve capacity and seed
         #: override whatever the base carries; policy/backend/faults
@@ -489,7 +495,8 @@ class ServeSession:
             first_throttle_us=self._first_throttle_us,
             first_queue_us=self._first_queue_us,
             first_shed_us=self._first_shed_us,
-            driver_totals=dataclasses.asdict(self._driver.stats.totals))
+            driver_totals=dataclasses.asdict(self._driver.stats.totals),
+            scenario=self.scenario)
         obs = self.obs
         if obs is not None and obs.metrics is not None:
             m = obs.metrics

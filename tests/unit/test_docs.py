@@ -69,3 +69,65 @@ class TestCheckerDetects:
         doc.write_text("```bash\npython examples/ghost.py\n```\n")
         errors = check_docs.check_example_scripts(doc, tmp_path)
         assert len(errors) == 1 and "ghost.py" in errors[0]
+
+
+class TestYamlBlocks:
+    def test_invalid_scenario_block_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```yaml\nworkload: ra\nbogus_key: 1\n```\n")
+        errors = check_docs.check_yaml_blocks(doc, tmp_path)
+        assert len(errors) == 1 and "bogus_key" in errors[0]
+
+    def test_valid_scenario_block_passes(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```yaml\nworkload: ra\noversubscription: 1.4\n```\n")
+        assert check_docs.check_yaml_blocks(doc, tmp_path) == []
+
+    def test_broken_inherits_target_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```yaml\ninherits: no_such_base\nworkload: ra\n```\n")
+        errors = check_docs.check_yaml_blocks(doc, tmp_path)
+        assert len(errors) == 1 and "no_such_base" in errors[0]
+
+    def test_inherits_resolves_against_configs_library(self, tmp_path):
+        (tmp_path / "configs").mkdir()
+        (tmp_path / "configs" / "base.yaml").write_text(
+            "workload: ra\nscale: tiny\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("```yaml\ninherits: base\nseed: 1\n```\n")
+        assert check_docs.check_yaml_blocks(doc, tmp_path) == []
+
+    def test_skip_marker_exempts_block(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```yaml\n# not-a-scenario\nanything: goes\n```\n")
+        assert check_docs.check_yaml_blocks(doc, tmp_path) == []
+
+    def test_non_yaml_blocks_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```json\n{\"bogus\": 1}\n```\n")
+        assert check_docs.check_yaml_blocks(doc, tmp_path) == []
+
+
+class TestKeyReference:
+    def test_repo_table_covers_schema(self):
+        assert check_docs.check_key_reference(REPO_ROOT) == []
+
+    def test_missing_key_detected(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "scenarios.md").write_text(
+            "## Key reference\n\n| key |\n|---|\n| `workload` |\n")
+        errors = check_docs.check_key_reference(tmp_path)
+        assert any("missing" in e for e in errors)
+
+    def test_stale_row_detected(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        from repro.scenario import SCHEMA
+        rows = "\n".join(f"| `{k}` |" for k in SCHEMA)
+        (docs / "scenarios.md").write_text(
+            f"## Key reference\n\n| key |\n|---|\n{rows}\n"
+            "| `policy.retired_knob` |\n")
+        errors = check_docs.check_key_reference(tmp_path)
+        assert errors == ["docs/scenarios.md: key reference row "
+                          "`policy.retired_knob` is not in the schema"]

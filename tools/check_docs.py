@@ -14,7 +14,14 @@ Checks, over README.md, EXPERIMENTS.md, DESIGN.md and ``docs/*.md``:
   ``repro.cli.build_parser()``, so documented flags can never drift
   from the implementation;
 * **Example scripts** -- every documented ``python <path>.py`` line
-  points at a file that exists.
+  points at a file that exists;
+* **YAML scenarios** -- every fenced ``yaml``/``yml`` block validates
+  against the scenario schema (unknown keys, bad values, broken
+  ``inherits:`` targets -- resolved against the repo's ``configs/``
+  library).  Blocks containing ``# not-a-scenario`` are exempt;
+* **Key reference** -- the key table in ``docs/scenarios.md`` covers
+  exactly the keys in ``repro.scenario.schema.SCHEMA`` (no missing,
+  no stale rows).
 
 Exit status is the number of problems found (0 = docs are clean).
 """
@@ -131,6 +138,87 @@ def check_example_scripts(path: Path, root: Path) -> list[str]:
     return errors
 
 
+#: Escape hatch for illustrative YAML that is not a scenario config.
+YAML_SKIP_MARKER = "# not-a-scenario"
+
+
+def check_yaml_blocks(path: Path, root: Path) -> list[str]:
+    """Fenced YAML blocks of ``path`` that fail scenario validation.
+
+    ``inherits:`` references are resolved the same way the loader
+    resolves them for a file living at the repo's ``configs/`` root, so
+    documentation examples may (and do) inherit from the shipped
+    library.
+    """
+    import yaml
+
+    from repro.scenario import check, deep_merge
+    from repro.scenario.loader import _resolve, _resolve_ref
+
+    config_root = root / "configs"
+    errors = []
+    rel = path.relative_to(root)
+    for lang, body in FENCE_RE.findall(path.read_text(encoding="utf-8")):
+        if lang not in ("yaml", "yml") or YAML_SKIP_MARKER in body:
+            continue
+        where = f"{rel}: yaml block starting {body.strip().splitlines()[0]!r}"
+        try:
+            data = yaml.safe_load(body)
+        except yaml.YAMLError as exc:
+            errors.append(f"{where}: does not parse: {exc}")
+            continue
+        if not isinstance(data, dict):
+            errors.append(f"{where}: not a mapping")
+            continue
+        refs = data.pop("inherits", None)
+        if refs is not None:
+            refs = [refs] if isinstance(refs, str) else list(refs)
+            merged: dict = {}
+            try:
+                for ref in refs:
+                    base = _resolve(
+                        _resolve_ref(ref, config_root, config_root),
+                        config_root, ())
+                    base.pop("inherits", None)
+                    merged = deep_merge(merged, base)
+            except Exception as exc:
+                errors.append(f"{where}: inherits does not resolve: {exc}")
+                continue
+            data = deep_merge(merged, data)
+        data.setdefault("name", "doc-example")
+        for problem in check(data):
+            errors.append(f"{where}: {problem}")
+    return errors
+
+
+#: A key cell in the reference table: | `dotted.path` | ...
+KEY_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*\|", re.M)
+
+
+def check_key_reference(root: Path) -> list[str]:
+    """The scenarios.md key table vs. the live schema, both directions."""
+    from repro.scenario import SCHEMA
+
+    doc = root / "docs" / "scenarios.md"
+    if not doc.exists():
+        return ["docs/scenarios.md: missing (key reference lives there)"]
+    text = doc.read_text(encoding="utf-8")
+    match = re.search(r"^## Key reference$(.*?)(?=^## |\Z)", text,
+                      re.M | re.S)
+    if match is None:
+        return ["docs/scenarios.md: no '## Key reference' section"]
+    documented = set(KEY_ROW_RE.findall(match.group(1)))
+    schema = set(SCHEMA)
+    errors = []
+    for key in sorted(schema - documented):
+        errors.append(f"docs/scenarios.md: schema key `{key}` missing "
+                      f"from the key reference table")
+    for key in sorted(documented - schema):
+        errors.append(f"docs/scenarios.md: key reference row `{key}` "
+                      f"is not in the schema")
+    return errors
+
+
 def run_checks(root: Path) -> list[str]:
     """All problems across the documentation set."""
     sys.path.insert(0, str(root / "src"))
@@ -140,6 +228,8 @@ def run_checks(root: Path) -> list[str]:
         errors += check_links(path, root)
         errors += check_cli_invocations(path, root, build_parser)
         errors += check_example_scripts(path, root)
+        errors += check_yaml_blocks(path, root)
+    errors += check_key_reference(root)
     return errors
 
 
