@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-accel bench bench-smoke bench-perf \
-	serve-smoke config-smoke check-configs check-regression figures \
-	examples check-docs clean
+	serve-smoke telemetry-smoke config-smoke check-configs \
+	check-regression figures examples check-docs clean
 
 install:
 	pip install -e .
@@ -40,6 +40,18 @@ bench-perf:
 serve-smoke:
 	$(PYTHON) -m repro serve --tenants 6 --arrival-rate 2000 \
 		--queue-depth 2 --shed-watermark 2.0 --json
+
+# SLO-tracked serve run with live admission: the alert transcript
+# must be identical across two runs, and repro top must render it.
+telemetry-smoke:
+	for i in 1 2; do \
+		$(PYTHON) -m repro serve --config configs/serve_slo.yaml \
+			--live-admission --events .telemetry-$$i.jsonl \
+			--flush-events 1 --json > .serve-$$i.json || exit 1; \
+	done
+	diff .serve-1.json .serve-2.json
+	$(PYTHON) -m repro top .telemetry-1.jsonl
+	rm -f .telemetry-1.jsonl .telemetry-2.jsonl .serve-1.json .serve-2.json
 
 # Schema-validate and dry-compile the whole scenario library.
 check-configs:

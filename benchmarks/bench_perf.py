@@ -289,6 +289,54 @@ def measure_serve(repeats: int, backend: str | None = None) -> dict:
     }
 
 
+def measure_telemetry(repeats: int, backend: str | None = None) -> dict:
+    """Host-side cost of live telemetry on the serve bench scenario.
+
+    Times the serve scenario bare, then again with the full telemetry
+    stack attached -- metrics registry, event bus with a sink, SLO
+    engine, and the default alert rules.  Simulated quantities are
+    identical by construction (the zero-overhead contract, asserted
+    here), so ``overhead_pct`` isolates the *wall-clock* tax of
+    observing the run.  Gated ``lower``: telemetry must stay cheap.
+    """
+    from repro.config import ServeConfig
+    from repro.obs import Observability
+    from repro.obs.live import SloConfig
+    from repro.obs.sinks import NullSink
+    from repro.serve import ServeSession
+
+    cfg = ServeConfig(**SERVE_SCENARIO)
+    sim = SimulationConfig(backend=backend) if backend else None
+    slo = SloConfig(p99_latency_us=300.0, latency_attainment=0.95,
+                    max_shed_rate=0.1)
+
+    def bare():
+        return ServeSession(cfg, sim_config=sim).run()
+
+    def instrumented():
+        obs = Observability.create(metrics=True)
+        obs.bus.attach(NullSink())
+        return ServeSession(cfg, sim_config=sim, obs=obs, slo=slo).run()
+
+    bare()  # untimed warm-up: the first serve pays one-time numpy
+    # and import costs that would otherwise bias whichever variant
+    # runs first (overhead is a ratio of the two walls).
+    bare_wall, bare_cpu, bare_result = _timed(bare, repeats)
+    tel_wall, tel_cpu, tel_result = _timed(instrumented, repeats)
+    if tel_result.accesses_per_second != bare_result.accesses_per_second:
+        raise RuntimeError("telemetry perturbed the simulated schedule")
+    return {
+        "scenario": {k: v for k, v in SERVE_SCENARIO.items()},
+        "bare_wall_seconds": round(bare_wall, 4),
+        "telemetry_wall_seconds": round(tel_wall, 4),
+        "bare_cpu_seconds": round(bare_cpu, 4),
+        "telemetry_cpu_seconds": round(tel_cpu, 4),
+        "slo_violations": tel_result.slo_violations,
+        "alerts_fired": tel_result.alerts_fired,
+        "overhead_pct": round((tel_wall - bare_wall) / bare_wall * 100, 2),
+    }
+
+
 def run(scale: str, repeats: int, jobs: int,
         backend: str | None = None) -> dict:
     # Resolve once up front: prints the one-line fallback warning when
@@ -318,6 +366,7 @@ def run(scale: str, repeats: int, jobs: int,
         "batched_vs_scalar": measure_batched_vs_scalar(scale, repeats),
         "fast_path": measure_fast_path(repeats, backend=backend),
         "serve": measure_serve(repeats, backend=backend),
+        "telemetry": measure_telemetry(repeats, backend=backend),
     }
     return report
 
@@ -393,6 +442,12 @@ def main(argv=None) -> int:
           f"shed rate {sv['shed_rate']:.2f}); "
           f"p99 wave latency {sv['p99_wave_latency_us']:.1f}us, "
           f"wall {sv['wall_seconds']:.3f}s")
+    tl = report["telemetry"]
+    print(f"telemetry: {tl['overhead_pct']:+.2f}% wall overhead with the "
+          f"full live stack attached ({tl['telemetry_wall_seconds']:.3f}s "
+          f"vs {tl['bare_wall_seconds']:.3f}s bare; "
+          f"{tl['slo_violations']} violations, "
+          f"{tl['alerts_fired']} alerts)")
     saved = f"[saved to {out}"
     if not args.no_history:
         saved += f"; appended to {args.history}"

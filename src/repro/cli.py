@@ -178,11 +178,17 @@ def _make_obs(args):
     profile = getattr(args, "profile", False)
     timeline = getattr(args, "timeline", None)
     archive = getattr(args, "archive", False)
-    if not (events or metrics or profile or timeline or archive):
+    prom = getattr(args, "prom", None)
+    if not (events or metrics or profile or timeline or archive or prom):
         return None
     from .obs import Observability
-    return Observability.create(events_path=events, metrics=bool(metrics),
-                                profile=profile, timeline=bool(timeline))
+    try:
+        return Observability.create(
+            events_path=events, metrics=bool(metrics) or bool(prom),
+            profile=profile, timeline=bool(timeline),
+            events_flush=getattr(args, "flush_events", None))
+    except ValueError as exc:  # e.g. --flush-events on a .gz log
+        raise SystemExit(f"repro: {exc}")
 
 
 def _begin_archive(args, cfg, workload_name: str, obs,
@@ -238,16 +244,25 @@ def _finish_obs(obs, args) -> None:
     if obs is None:
         return
     obs.close()
+    # Artifact notes are status, not results: stderr keeps --json
+    # stdout a clean machine-readable document.
+    def note(msg):
+        print(msg, file=sys.stderr)
+
     if getattr(args, "metrics", None):
         obs.metrics.write_json(args.metrics)
-        print(f"[metrics written to {args.metrics}]")
+        note(f"[metrics written to {args.metrics}]")
     if getattr(args, "events", None):
-        print(f"[events written to {args.events}; summarize with "
-              f"`repro inspect {args.events}`]")
+        note(f"[events written to {args.events}; summarize with "
+             f"`repro inspect {args.events}`]")
     if getattr(args, "timeline", None):
         obs.timeline.write(args.timeline)
-        print(f"[timeline written to {args.timeline}; open it in Perfetto "
-              f"(ui.perfetto.dev) or chrome://tracing]")
+        note(f"[timeline written to {args.timeline}; open it in Perfetto "
+             f"(ui.perfetto.dev) or chrome://tracing]")
+    if getattr(args, "prom", None):
+        from .obs.live.export import write_openmetrics
+        write_openmetrics(obs.metrics, args.prom)
+        note(f"[OpenMetrics exposition written to {args.prom}]")
     if getattr(args, "profile", False):
         print()
         print(obs.profiler.render())
@@ -565,6 +580,8 @@ def _print_serve_summary(result) -> None:
         ["first throttle (ms)", fmt_us(result.first_throttle_us)],
         ["first queue (ms)", fmt_us(result.first_queue_us)],
         ["first shed (ms)", fmt_us(result.first_shed_us)],
+        ["slo violations", result.slo_violations],
+        ["alerts fired", result.alerts_fired],
     ]
     print(format_table(["metric", "value"], rows,
                        title=f"== serve: {result.arrivals} tenants @ "
@@ -592,6 +609,54 @@ def _print_serve_summary(result) -> None:
         rows, title="-- per-tenant lifecycle"))
 
 
+def _load_slo_config(args):
+    """Parse ``--slo-config FILE`` into an :class:`SloConfig` or None.
+
+    The file is a YAML mapping of ``slo.*`` keys, either flat
+    (``slo.p99_latency_us: 300``), bare (``p99_latency_us: 300``), or
+    nested under a ``slo:`` section -- the same keys a ``mode: serve``
+    scenario accepts.
+    """
+    path = getattr(args, "slo_config", None)
+    if path is None:
+        return None
+    from pathlib import Path
+    from .obs.live.slo import SloConfig
+    from .scenario.loader import _load_yaml
+    from .scenario.schema import ScenarioError
+    try:
+        data = _load_yaml(Path(path))
+    except ScenarioError as exc:
+        raise SystemExit(f"repro serve: --slo-config: {exc}") from None
+    if isinstance(data.get("slo"), dict):
+        data = data["slo"]
+    try:
+        config = SloConfig.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"repro serve: --slo-config {path}: "
+                         f"{exc}") from None
+    if not config.enabled:
+        raise SystemExit(f"repro serve: --slo-config {path} sets no "
+                         "objective (need at least one of p99_latency_us, "
+                         "max_shed_rate, min_throughput)")
+    return config
+
+
+def _apply_live_flags(args, serve_cfg):
+    """Overlay ``--live-admission`` / ``--window-ms`` onto a config."""
+    import dataclasses
+    updates = {}
+    if getattr(args, "live_admission", False):
+        updates["live_admission"] = True
+    if getattr(args, "live_thrash_threshold", None) is not None:
+        updates["live_thrash_threshold"] = args.live_thrash_threshold
+    if getattr(args, "window_ms", None) is not None:
+        updates["window_ms"] = args.window_ms
+    if not updates:
+        return serve_cfg
+    return dataclasses.replace(serve_cfg, **updates).validate()
+
+
 def _cmd_serve_config(args) -> int:
     """``repro serve --config scenario.yaml``."""
     from .serve import ServeSession
@@ -608,17 +673,26 @@ def _cmd_serve_config(args) -> int:
     if len(variants) > 1:
         # A swept serve scenario: batch path with one row per variant.
         return _run_scenario_batch(args, [scenario], "serve")
+    from .scenario import build_slo_config
     try:
         serve_cfg = build_serve_config(variants[0].data)
         sim_cfg = build_sim_config(variants[0].data)
+        slo = build_slo_config(variants[0].data)
     except (ScenarioError, ValueError) as exc:
         raise SystemExit(f"repro serve: {exc}") from None
+    serve_cfg = _apply_live_flags(args, serve_cfg)
+    # --slo-config on the command line overrides the scenario's slo:
+    # section wholesale (objectives are not merged key-by-key).
+    flag_slo = _load_slo_config(args)
+    if flag_slo is not None:
+        slo = flag_slo
     obs = _make_obs(args)
     archive = _begin_serve_archive(args, serve_cfg, sim_cfg, obs,
                                    scenario=scenario)
     try:
         result = ServeSession(serve_cfg, sim_config=sim_cfg, obs=obs,
-                              scenario=scenario.get("name")).run()
+                              scenario=scenario.get("name"),
+                              slo=slo).run()
     except ValueError as exc:
         raise SystemExit(f"repro serve: {exc}") from None
     if args.json:
@@ -657,13 +731,22 @@ def cmd_serve(args) -> int:
             shed_watermark=args.shed_watermark,
             throttle_watermark=args.throttle_watermark,
             queue_depth=args.queue_depth, quantum=args.quantum,
-            throttle_rounds=args.throttle_rounds, seed=args.seed).validate()
+            throttle_rounds=args.throttle_rounds,
+            live_admission=args.live_admission,
+            live_thrash_threshold=(args.live_thrash_threshold
+                                   if args.live_thrash_threshold is not None
+                                   else 0.25),
+            window_ms=(args.window_ms if args.window_ms is not None
+                       else 5.0),
+            seed=args.seed).validate()
     except ValueError as exc:
         raise SystemExit(f"repro serve: {exc}") from None
+    slo = _load_slo_config(args)
     obs = _make_obs(args)
     archive = _begin_serve_archive(args, serve_cfg, sim_cfg, obs)
     try:
-        result = ServeSession(serve_cfg, sim_config=sim_cfg, obs=obs).run()
+        result = ServeSession(serve_cfg, sim_config=sim_cfg, obs=obs,
+                              slo=slo).run()
     except ValueError as exc:
         raise SystemExit(f"repro serve: {exc}") from None
     if args.json:
@@ -687,6 +770,12 @@ def cmd_inspect(args) -> int:
         raise SystemExit(f"repro inspect: {exc}") from None
     print(render_summary(summary, top=args.top))
     return 0
+
+
+def cmd_top(args) -> int:
+    from .obs.live.top import run_top
+    return run_top(args.events, follow=args.follow,
+                   interval=args.interval, frames=args.frames)
 
 
 def cmd_runs(args) -> int:
@@ -877,6 +966,15 @@ def _add_obs_args(p) -> None:
                         "decisions, evictions, counter halvings) to this "
                         "JSONL file (gzipped when the path ends in .gz); "
                         "summarize with `repro inspect`")
+    p.add_argument("--flush-events", type=int, default=None, metavar="N",
+                   help="flush the --events log every N events so it can "
+                        "be tailed live (`repro top --follow`); rejected "
+                        "for .gz logs, which only become readable at "
+                        "close")
+    p.add_argument("--prom", default=None, metavar="PATH",
+                   help="write the metric rollup as a Prometheus/"
+                        "OpenMetrics text exposition after the run "
+                        "(implies a metrics registry)")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write the metric rollup (decision counters, "
                         "threshold histogram, PCIe queue depth series) "
@@ -1065,9 +1163,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scheduler rounds a throttled tenant sits out")
     p.add_argument("--json", action="store_true",
                    help="print the full serve result as JSON")
+    p.add_argument("--slo-config", default=None, metavar="YAML",
+                   help="per-tenant serving objectives (slo.* keys: "
+                        "p99_latency_us, max_shed_rate, min_throughput, "
+                        "...); enables the streaming SLO engine and "
+                        "alerting (overrides a scenario's slo: section)")
+    p.add_argument("--live-admission", action="store_true",
+                   help="let the degradation ladder consume live "
+                        "windowed interference telemetry (EWMA thrash "
+                        "pressure) instead of cumulative attribution "
+                        "alone; off by default (off = bit-identical to "
+                        "the telemetry-free path)")
+    p.add_argument("--live-thrash-threshold", type=float, default=None,
+                   metavar="RATE",
+                   help="EWMA thrash migrations per wave at which "
+                        "--live-admission engages the throttle "
+                        "(default 0.25)")
+    p.add_argument("--window-ms", type=float, default=None,
+                   help="tumbling telemetry window width in simulated "
+                        "milliseconds (default 5.0)")
     _add_sim_args(p, with_oversub=False)
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("top", help="terminal dashboard over a serve "
+                                   "event log (per-tenant SLO table)")
+    p.add_argument("events", help="JSONL event log written by "
+                                  "`repro serve --events` (plain .jsonl "
+                                  "only; .gz logs are not tailable)")
+    p.add_argument("--follow", action="store_true",
+                   help="refresh while the log grows (pair with "
+                        "`--flush-events 1` on the serve side)")
+    p.add_argument("--interval", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="refresh interval in --follow mode (default 0.5)")
+    p.add_argument("--frames", type=int, default=None, metavar="N",
+                   help="stop after N refreshes (default: until the log "
+                        "stops growing)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("inspect", help="summarize a structured event log")
     p.add_argument("events", help="JSONL event log written by --events "

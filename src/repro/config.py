@@ -523,6 +523,16 @@ class ServeConfig:
     quantum: int = 4
     #: Scheduler rounds a throttled tenant sits out.
     throttle_rounds: int = 8
+    #: Drive the throttle from *live* windowed interference telemetry
+    #: (EWMA thrash migrations per wave) instead of the static
+    #: oversubscription watermark alone.  Off by default: the watermark
+    #: path stays bit-identical to runs without telemetry attached.
+    live_admission: bool = False
+    #: EWMA thrash-migrations-per-wave level at which live admission
+    #: engages the throttle (only read when ``live_admission`` is on).
+    live_thrash_threshold: float = 0.25
+    #: Tumbling-window width for live telemetry, simulated milliseconds.
+    window_ms: float = 5.0
     seed: int = 0
 
     def replace(self, **kwargs) -> "ServeConfig":
@@ -569,6 +579,12 @@ class ServeConfig:
         if self.throttle_rounds < 1:
             errors.append(f"throttle_rounds must be >= 1, got "
                           f"{self.throttle_rounds}")
+        if self.live_thrash_threshold < 0.0:
+            errors.append(f"live_thrash_threshold must be >= 0, got "
+                          f"{self.live_thrash_threshold!r}")
+        if self.window_ms <= 0.0:
+            errors.append(f"window_ms must be positive, got "
+                          f"{self.window_ms!r}")
         if errors:
             raise ValueError(
                 "invalid ServeConfig:\n  - " + "\n  - ".join(errors))

@@ -33,6 +33,7 @@ from __future__ import annotations
 from .bus import EventBus
 from .events import (
     EVENT_TYPES,
+    AlertFired,
     CounterHalving,
     Event,
     Eviction,
@@ -40,6 +41,9 @@ from .events import (
     MigrationDecision,
     PrefetchExpand,
     RunMeta,
+    SloAttainment,
+    SloViolation,
+    TelemetryWindow,
     TenantAdmitted,
     TenantArrival,
     TenantComplete,
@@ -93,7 +97,8 @@ class Observability:
     def create(cls, events_path=None, metrics: bool = False,
                profile: bool = False,
                ring_capacity: int | None = None,
-               timeline: bool = False) -> "Observability":
+               timeline: bool = False,
+               events_flush: int | None = None) -> "Observability":
         """Assemble a handle from the CLI-style knobs.
 
         ``events_path`` attaches a :class:`JsonlSink`; ``metrics``
@@ -102,14 +107,17 @@ class Observability:
         ``ring_capacity`` attaches an in-memory ring buffer;
         ``timeline`` attaches a :class:`TimelineRecorder` (Chrome-trace
         export) fed by both the profiler's spans and a bus sink, and
-        implies a profiler (a :class:`TimelineProfiler`).
+        implies a profiler (a :class:`TimelineProfiler`);
+        ``events_flush`` makes the event log tailable by flushing it
+        every N events (``--flush-events``; rejected for ``.gz`` logs).
         """
         obs = cls()
         if metrics:
             obs.metrics = MetricsRegistry()
             obs.bus.attach(MetricsSink(obs.metrics))
         if events_path is not None:
-            obs.bus.attach(JsonlSink(events_path))
+            obs.bus.attach(JsonlSink(events_path,
+                                     flush_every=events_flush))
         if ring_capacity is not None:
             obs.bus.attach(RingBufferSink(ring_capacity))
         if timeline:
@@ -126,6 +134,7 @@ class Observability:
 
 
 __all__ = [
+    "AlertFired",
     "Counter",
     "CounterHalving",
     "EVENT_TYPES",
@@ -147,6 +156,9 @@ __all__ = [
     "RunMeta",
     "Series",
     "Sink",
+    "SloAttainment",
+    "SloViolation",
+    "TelemetryWindow",
     "TenantAdmitted",
     "TenantArrival",
     "TenantComplete",

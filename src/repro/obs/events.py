@@ -238,12 +238,104 @@ class TenantComplete(Event):
     cross_evictions: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class TelemetryWindow(Event):
+    """One closed tumbling window of a tenant's live wave telemetry.
+
+    Emitted by :class:`repro.obs.live.LiveTelemetry` every time a
+    per-tenant latency window closes on the serving clock.  ``start_us``
+    is the window's left edge and ``window_us`` its width; ``bad_waves``
+    counts waves whose latency exceeded the SLO latency target (0 when
+    no SLO is configured).  The EWMA fields are the streaming estimates
+    *after* folding this window in.
+    """
+
+    kind = "telemetry_window"
+
+    tenant: int
+    start_us: float
+    window_us: float
+    waves: int
+    accesses: int
+    mean_latency_us: float
+    max_latency_us: float
+    bad_waves: int
+    ewma_latency_us: float
+    thrash_rate: float
+
+
+@dataclass(frozen=True, slots=True)
+class SloViolation(Event):
+    """A per-tenant SLO objective started burning its error budget.
+
+    Emitted on the *transition* into violation (multi-window burn-rate
+    rule: both the fast and slow window burn rates exceed the configured
+    threshold), not on every evaluation tick, so transcripts stay small
+    and deterministic.  ``tenant`` is ``-1`` for service-level
+    objectives (shed rate).
+    """
+
+    kind = "slo_violation"
+
+    tenant: int
+    at_us: float
+    objective: str
+    burn_fast: float
+    burn_slow: float
+    value: float
+    target: float
+
+
+@dataclass(frozen=True, slots=True)
+class SloAttainment(Event):
+    """Final attainment verdict for one (tenant, objective) pair.
+
+    Emitted when a tenant completes (or at end of run for service-level
+    objectives): ``attainment`` is the achieved good fraction over the
+    whole run, ``target`` the configured requirement, ``met`` the
+    verdict.
+    """
+
+    kind = "slo_attainment"
+
+    tenant: int
+    at_us: float
+    objective: str
+    attainment: float
+    target: float
+    met: bool
+
+
+@dataclass(frozen=True, slots=True)
+class AlertFired(Event):
+    """A deterministic alert rule changed state (firing or resolved).
+
+    Rules evaluate in declaration order against the live telemetry
+    sample each scheduler round; ``state`` is ``"firing"`` on the
+    transition into breach (after the rule's ``for_ticks`` consecutive
+    breaching evaluations) and ``"resolved"`` on the first
+    non-breaching evaluation afterwards.  ``tenant`` is ``-1`` for
+    serve-scoped rules.
+    """
+
+    kind = "alert_fired"
+
+    name: str
+    at_us: float
+    tenant: int
+    metric: str
+    value: float
+    threshold: float
+    state: str
+
+
 #: kind tag -> event class, for deserializing JSONL logs.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (RunMeta, MigrationDecision, Eviction, CounterHalving,
                 FaultRetry, PrefetchExpand, TenantArrival, TenantAdmitted,
-                TenantShed, TenantThrottled, TenantComplete)
+                TenantShed, TenantThrottled, TenantComplete,
+                TelemetryWindow, SloViolation, SloAttainment, AlertFired)
 }
 
 

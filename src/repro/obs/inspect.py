@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 
 from .events import (
+    AlertFired,
     CounterHalving,
     Event,
     Eviction,
@@ -30,6 +31,9 @@ from .events import (
     MigrationDecision,
     PrefetchExpand,
     RunMeta,
+    SloAttainment,
+    SloViolation,
+    TelemetryWindow,
     TenantAdmitted,
     TenantArrival,
     TenantComplete,
@@ -136,6 +140,19 @@ class TenantSummary:
     thrash_migrations: int = 0
     cross_evictions: int = 0
     completed: bool = False
+    #: Closed telemetry windows seen for this tenant (live logs only).
+    windows: int = 0
+    #: Latest streaming estimates from the last TelemetryWindow.
+    ewma_latency_us: float = 0.0
+    thrash_rate: float = 0.0
+    #: SLO bookkeeping: violation transitions, worst final attainment
+    #: across objectives (None until an SloAttainment arrives), and
+    #: whether every objective's verdict was met.
+    slo_violations: int = 0
+    slo_attainment: float | None = None
+    slo_met: bool | None = None
+    #: Alert ``firing`` transitions scoped to this tenant.
+    alerts: int = 0
 
     @property
     def state(self) -> str:
@@ -175,6 +192,12 @@ class LogSummary:
     last_wave: int = 0
     #: tenant id -> TenantSummary (serve logs only; empty otherwise)
     tenants: dict = field(default_factory=dict)
+    #: alert rule name -> ``firing`` transition count (live logs only).
+    alert_counts: dict = field(default_factory=dict)
+    #: Service-level (tenant -1) SLO violation transitions.
+    service_slo_violations: int = 0
+    #: objective -> (attainment, met) for service-level objectives.
+    service_attainment: dict = field(default_factory=dict)
 
     def tenant(self, tid: int) -> TenantSummary:
         """The (auto-created) summary row for tenant ``tid``."""
@@ -281,6 +304,33 @@ def summarize(path_or_events) -> LogSummary:
             row.p99_wave_latency_us = ev.p99_wave_latency_us
             row.thrash_migrations = ev.thrash_migrations
             row.cross_evictions = ev.cross_evictions
+        elif type(ev) is TelemetryWindow:
+            row = s.tenant(ev.tenant)
+            row.windows += 1
+            row.ewma_latency_us = ev.ewma_latency_us
+            row.thrash_rate = ev.thrash_rate
+        elif type(ev) is SloViolation:
+            if ev.tenant < 0:
+                s.service_slo_violations += 1
+            else:
+                s.tenant(ev.tenant).slo_violations += 1
+        elif type(ev) is SloAttainment:
+            if ev.tenant < 0:
+                s.service_attainment[ev.objective] = (ev.attainment,
+                                                      ev.met)
+            else:
+                row = s.tenant(ev.tenant)
+                if (row.slo_attainment is None
+                        or ev.attainment < row.slo_attainment):
+                    row.slo_attainment = ev.attainment
+                row.slo_met = ev.met if row.slo_met is None \
+                    else (row.slo_met and ev.met)
+        elif type(ev) is AlertFired:
+            if ev.state == "firing":
+                s.alert_counts[ev.name] = (
+                    s.alert_counts.get(ev.name, 0) + 1)
+                if ev.tenant >= 0:
+                    s.tenant(ev.tenant).alerts += 1
     return s
 
 
@@ -345,19 +395,43 @@ def render_summary(summary: LogSummary, top: int = 10) -> str:
     if summary.tenants:
         lines.append("")
         lines.append("-- tenants (serve log): lifecycle, latency, "
-                     "interference")
+                     "interference, SLOs")
         rows = []
         for tid in sorted(summary.tenants):
             t = summary.tenants[tid]
+            if t.slo_attainment is None:
+                slo_cell = "-"
+            else:
+                verdict = "" if t.slo_met is None \
+                    else (" ok" if t.slo_met else " MISS")
+                slo_cell = f"{t.slo_attainment:.3f}{verdict}"
             rows.append([
                 t.tenant, t.workload, t.state, t.admits, t.sheds,
                 f"{t.queued_us / 1e3:.2f}", t.throttles, t.waves,
                 f"{t.p99_wave_latency_us:.1f}" if t.completed else "-",
-                t.interference])
+                t.interference, slo_cell, t.alerts])
         lines.append(_table(
             ["tenant", "workload", "state", "admits", "sheds",
-             "queued ms", "throttles", "waves", "p99 us", "interference"],
+             "queued ms", "throttles", "waves", "p99 us", "interference",
+             "slo att", "alerts"],
             rows))
+        if summary.alert_counts or summary.service_attainment \
+                or summary.service_slo_violations:
+            lines.append("")
+            lines.append("-- live telemetry: alerts and service SLOs")
+            if summary.alert_counts:
+                fired = "  ".join(
+                    f"{name}x{n}" for name, n
+                    in sorted(summary.alert_counts.items()))
+                lines.append(f"alerts fired:        {fired}")
+            for objective, (attainment, met) in sorted(
+                    summary.service_attainment.items()):
+                lines.append(
+                    f"service {objective}: attainment "
+                    f"{attainment:.3f} ({'met' if met else 'MISSED'})")
+            if summary.service_slo_violations:
+                lines.append(f"service SLO violations: "
+                             f"{summary.service_slo_violations}")
 
     trends = [t for t in summary.allocations if t.decisions]
     if trends:

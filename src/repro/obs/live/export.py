@@ -1,0 +1,96 @@
+"""Prometheus/OpenMetrics text exposition of a metrics snapshot.
+
+:func:`to_openmetrics` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+(or an already-serialized ``--metrics`` JSON snapshot -- the two are
+interchangeable here) into the OpenMetrics text format, so a serve
+run's registry can be scraped or diffed with standard tooling:
+``repro serve --prom out.prom`` writes one snapshot at end of run.
+
+Mapping choices:
+
+* dotted metric names sanitize to underscores (``serve.shed_rate`` ->
+  ``serve_shed_rate``); counters get the conventional ``_total`` suffix;
+* histograms export cumulative ``_bucket{le="..."}`` rows derived from
+  the registry's power-of-two layout, plus ``_sum``/``_count``;
+* series export their last point as a gauge (the decimated history
+  stays in the JSON snapshot; exposition formats are instantaneous).
+
+The output is deterministic: name-sorted metrics, ``# EOF``-terminated.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_RE.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _bucket_upper(label: str) -> float:
+    """Upper bound of a histogram bucket from its human label.
+
+    Labels come from :meth:`Histogram.bucket_label`: ``"0"``, ``"1"``,
+    or ``"(lo, hi]"``.
+    """
+    if "," not in label:
+        return float(label)
+    return float(label.rsplit(",", 1)[1].rstrip("]").strip())
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_openmetrics(snapshot) -> str:
+    """Render a registry or registry snapshot as OpenMetrics text."""
+    if hasattr(snapshot, "as_dict"):
+        snapshot = snapshot.as_dict()
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        metric = _sanitize(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}_total {_fmt(data['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(data['value'])}")
+        elif kind == "series":
+            lines.append(f"# TYPE {metric} gauge")
+            points = data.get("points") or []
+            last = points[-1][1] if points else 0.0
+            lines.append(f"{metric} {_fmt(last)}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            buckets = sorted(data.get("buckets", {}).items(),
+                             key=lambda kv: _bucket_upper(kv[0]))
+            for label, count in buckets:
+                cumulative += count
+                le = _fmt(_bucket_upper(label))
+                lines.append(
+                    f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+            lines.append(f"{metric}_sum {_fmt(data['sum'])}")
+            lines.append(f"{metric}_count {data['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(snapshot, path) -> None:
+    """Write :func:`to_openmetrics` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_openmetrics(snapshot))

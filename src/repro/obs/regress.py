@@ -42,6 +42,12 @@ GATED_METRICS: dict[str, str] = {
     "serve.accesses_per_second": "higher",
     "serve.p99_wave_latency_us": "lower",
     "serve.shed_rate": "lower",
+    # Wall-clock tax of the live telemetry stack on the serve scenario.
+    # The one deliberate wall-time gate: overhead is a *ratio* of two
+    # walls measured back to back on the same box, so host noise mostly
+    # cancels.  Absent from pre-telemetry history entries (skips), and
+    # a zero-median baseline also skips rather than divides.
+    "telemetry.overhead_pct": "lower",
 }
 
 #: Default trailing-window length and relative tolerance.

@@ -103,15 +103,39 @@ class JsonlSink(Sink):
     for large sweeps are highly redundant JSON and compress ~20x.
     Rows are ``Event.as_dict()`` with an ``"event"`` kind tag, parse
     back via :func:`repro.obs.events.from_dict`.
+
+    ``flush_every`` makes the log *tailable*: flush the OS buffer every
+    N events so ``repro top`` and external tailers see rows promptly
+    instead of only at close (``--flush-events`` on the CLI; serve runs
+    typically use the wave-boundary cadence of 1).  Gzip logs cannot be
+    tailed -- the compressed stream only terminates at close -- so
+    combining ``flush_every`` with a ``.gz`` path raises.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, flush_every: int | None = None) -> None:
+        if flush_every is not None:
+            if flush_every < 1:
+                raise ValueError(
+                    f"flush_every must be >= 1, got {flush_every}")
+            if str(path).endswith(".gz"):
+                raise ValueError(
+                    f"flush_every on a gzip log is useless ({path}): "
+                    "gzip members only terminate at close, so tailers "
+                    "never see complete rows; use an uncompressed "
+                    ".jsonl path")
         self.path = path
+        self.flush_every = flush_every
+        self._since_flush = 0
         self._fh = open_text(path, "w")
 
     def write(self, event: Event) -> None:
         json.dump(event.as_dict(), self._fh, separators=(",", ":"))
         self._fh.write("\n")
+        if self.flush_every is not None:
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                self._fh.flush()
+                self._since_flush = 0
 
     def close(self) -> None:
         if not self._fh.closed:

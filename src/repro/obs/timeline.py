@@ -29,6 +29,7 @@ import json
 import time
 
 from .events import (
+    AlertFired,
     CounterHalving,
     Event,
     Eviction,
@@ -36,6 +37,12 @@ from .events import (
     MigrationDecision,
     PrefetchExpand,
     RunMeta,
+    SloViolation,
+    TenantAdmitted,
+    TenantArrival,
+    TenantComplete,
+    TenantShed,
+    TenantThrottled,
 )
 from .profiling import PhaseProfiler
 
@@ -43,11 +50,13 @@ from .profiling import PhaseProfiler
 TID_PHASES = 1
 TID_DRIVER = 2
 TID_WAVES = 3
+TID_SERVE = 4
 
 _TRACK_NAMES = {
     TID_PHASES: "phases (host wall clock)",
     TID_DRIVER: "driver events",
     TID_WAVES: "waves",
+    TID_SERVE: "serve (tenants, SLOs, alerts)",
 }
 
 
@@ -87,9 +96,13 @@ class TimelineRecorder:
             "ph": "M", "pid": 1, "tid": TID_PHASES, "name": "process_name",
             "args": {"name": f"repro {name}"}})
 
-    def begin(self, name: str, tid: int = TID_PHASES) -> None:
-        self.events.append({"ph": "B", "pid": 1, "tid": tid,
-                            "cat": "phase", "name": name, "ts": self._ts()})
+    def begin(self, name: str, tid: int = TID_PHASES,
+              args: dict | None = None) -> None:
+        ev = {"ph": "B", "pid": 1, "tid": tid,
+              "cat": "phase", "name": name, "ts": self._ts()}
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
 
     def end(self, name: str, tid: int = TID_PHASES) -> None:
         self.events.append({"ph": "E", "pid": 1, "tid": tid,
@@ -215,6 +228,39 @@ class TimelineSink:
             rec.instant("counter_halving", {"field": event.field,
                                             "halvings": event.halvings,
                                             "wave": event.wave})
+        elif t is TenantArrival:
+            rec.instant("arrival", {"span": f"t{event.tenant}",
+                                    "tenant": event.tenant,
+                                    "workload": event.workload},
+                        tid=TID_SERVE)
+        elif t is TenantAdmitted:
+            rec.instant("admit", {"span": f"t{event.tenant}",
+                                  "tenant": event.tenant,
+                                  "queued_us": event.queued_us},
+                        tid=TID_SERVE)
+        elif t is TenantShed:
+            rec.instant("shed", {"span": f"t{event.tenant}",
+                                 "tenant": event.tenant,
+                                 "reason": event.reason}, tid=TID_SERVE)
+        elif t is TenantThrottled:
+            rec.instant("throttle", {"span": f"t{event.tenant}",
+                                     "tenant": event.tenant,
+                                     "rounds": event.rounds},
+                        tid=TID_SERVE)
+        elif t is TenantComplete:
+            rec.instant("complete", {"span": f"t{event.tenant}",
+                                     "tenant": event.tenant,
+                                     "waves": event.waves}, tid=TID_SERVE)
+        elif t is SloViolation:
+            rec.instant("slo_violation",
+                        {"span": f"t{event.tenant}",
+                         "tenant": event.tenant,
+                         "objective": event.objective}, tid=TID_SERVE)
+        elif t is AlertFired:
+            rec.instant(f"alert:{event.name}",
+                        {"span": f"t{event.tenant}",
+                         "tenant": event.tenant,
+                         "state": event.state}, tid=TID_SERVE)
         elif t is RunMeta:
             rec.set_run_meta(event.as_dict())
 

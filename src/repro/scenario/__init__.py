@@ -22,7 +22,8 @@ shipped scenario library lives in ``configs/``; the cookbook is
 
 from .compile import (MultiGpuSpec, Variant, build_cell,
                       build_multigpu_spec, build_serve_config,
-                      build_sim_config, compile_check, expand)
+                      build_sim_config, build_slo_config, compile_check,
+                      expand)
 from .loader import (deep_merge, is_base, load_directory, load_scenario,
                      scenario_files)
 from .runner import ScenarioOutcome, VariantOutcome, run_scenarios
@@ -33,6 +34,7 @@ __all__ = [
     "deep_merge", "is_base", "load_directory", "load_scenario",
     "scenario_files",
     "MultiGpuSpec", "Variant", "build_cell", "build_multigpu_spec",
-    "build_serve_config", "build_sim_config", "compile_check", "expand",
+    "build_serve_config", "build_sim_config", "build_slo_config",
+    "compile_check", "expand",
     "ScenarioOutcome", "VariantOutcome", "run_scenarios",
 ]

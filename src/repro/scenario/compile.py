@@ -35,8 +35,8 @@ from ..config import (EvictionGranularity, MigrationPolicy, PrefetcherKind,
 from .schema import ScenarioError, flatten
 
 __all__ = ["expand", "build_cell", "build_serve_config",
-           "build_sim_config", "build_multigpu_spec", "compile_check",
-           "MultiGpuSpec", "Variant"]
+           "build_sim_config", "build_multigpu_spec", "build_slo_config",
+           "compile_check", "MultiGpuSpec", "Variant"]
 
 
 @dataclass(frozen=True)
@@ -156,7 +156,42 @@ _SERVE_FIELDS = {
     "serve.queue_depth": ("queue_depth", int),
     "serve.quantum": ("quantum", int),
     "serve.throttle_rounds": ("throttle_rounds", int),
+    "serve.live_admission": ("live_admission", bool),
+    "serve.live_thrash_threshold": ("live_thrash_threshold", float),
+    "serve.window_ms": ("window_ms", float),
 }
+
+#: ``slo.*`` schema path -> (SloConfig field, coercion).
+_SLO_FIELDS = {
+    "slo.p99_latency_us": ("p99_latency_us", float),
+    "slo.latency_attainment": ("latency_attainment", float),
+    "slo.max_shed_rate": ("max_shed_rate", float),
+    "slo.min_throughput": ("min_throughput", float),
+    "slo.fast_windows": ("fast_windows", int),
+    "slo.slow_windows": ("slow_windows", int),
+    "slo.burn_threshold": ("burn_threshold", float),
+}
+
+
+def build_slo_config(variant: dict):
+    """Map a variant's ``slo.*`` keys onto an
+    :class:`~repro.obs.live.slo.SloConfig`, or ``None`` when the
+    scenario states no objective (tuning keys alone do not enable the
+    engine).
+    """
+    from ..obs.live.slo import SloConfig
+
+    flat = flatten(variant)
+    kwargs: dict = {}
+    for path, (name, coerce) in _SLO_FIELDS.items():
+        value = flat.get(path)
+        if value is not None:
+            kwargs[name] = coerce(value)
+    config = SloConfig(**kwargs)
+    if not config.enabled:
+        return None
+    config.validate()
+    return config
 
 
 def build_serve_config(variant: dict) -> ServeConfig:
@@ -278,6 +313,7 @@ def compile_check(scenario: dict) -> list[str]:
             elif mode == "serve":
                 build_serve_config(variant.data)
                 build_sim_config(variant.data)
+                build_slo_config(variant.data)
             else:
                 spec = build_multigpu_spec(variant.data)
                 if not 0.0 < spec.throttle <= 1.0:

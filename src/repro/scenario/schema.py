@@ -167,6 +167,31 @@ SCHEMA: dict[str, Key] = {k.path: k for k in (
        "round", default=4),
     _k("serve.throttle_rounds", int, "rounds a throttled tenant sits "
        "out", default=8),
+    _k("serve.live_admission", bool, "drive the throttle from live "
+       "windowed interference telemetry instead of the static "
+       "watermark alone", default=False),
+    _k("serve.live_thrash_threshold", (int, float), "EWMA thrash "
+       "migrations per wave at which live admission throttles",
+       default=0.25),
+    _k("serve.window_ms", (int, float), "live-telemetry tumbling-window "
+       "width, simulated ms", default=5.0),
+    # -- serving SLOs (mode: serve; enables the SLO engine) --------------
+    _k("slo.p99_latency_us", (int, float), "per-tenant wave-latency "
+       "target in simulated us (omit: no latency objective)",
+       default=None),
+    _k("slo.latency_attainment", (int, float), "required fraction of "
+       "waves under the latency target", default=0.99),
+    _k("slo.max_shed_rate", (int, float), "service-level ceiling on the "
+       "fraction of arrivals shed (omit: no shed objective)",
+       default=None),
+    _k("slo.min_throughput", (int, float), "per-tenant accesses-per-"
+       "second floor (omit: no throughput objective)", default=None),
+    _k("slo.fast_windows", int, "closed windows merged into the fast "
+       "burn-rate horizon", default=3),
+    _k("slo.slow_windows", int, "closed windows merged into the slow "
+       "burn-rate horizon", default=12),
+    _k("slo.burn_threshold", (int, float), "error-budget burn rate both "
+       "horizons must exceed to flag a violation", default=2.0),
     # -- multi-GPU topology (mode: multigpu) -----------------------------
     _k("multigpu.gpus", int, "devices in the collaborative cluster",
        default=2),

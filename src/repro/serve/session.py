@@ -54,7 +54,9 @@ from ..obs.events import (
     TenantShed,
     TenantThrottled,
 )
+from ..obs.live.telemetry import LiveTelemetry
 from ..obs.metrics import Histogram
+from ..obs.timeline import TID_SERVE
 from ..uvm.attribution import TenantAttribution
 from ..uvm.driver import UvmDriver
 from ..workloads.registry import make_workload
@@ -140,6 +142,9 @@ class ServeResult:
     #: Name of the scenario config the run was launched from (``repro
     #: serve --config``), or ``None`` for a flag-driven run.
     scenario: str | None = None
+    #: Live-telemetry rollups (0 when no telemetry hub was attached).
+    slo_violations: int = 0
+    alerts_fired: int = 0
 
     def as_dict(self) -> dict:
         """Flat JSON-safe encoding (archived / printed by the CLI)."""
@@ -195,8 +200,16 @@ class ServeSession:
 
     def __init__(self, config: ServeConfig,
                  sim_config: SimulationConfig | None = None,
-                 obs=None, scenario: str | None = None) -> None:
+                 obs=None, scenario: str | None = None,
+                 slo=None, alert_rules=None) -> None:
         self.config = config.validate()
+        #: Optional :class:`~repro.obs.live.slo.SloConfig` and explicit
+        #: alert-rule tuple; either one forces the live telemetry hub
+        #: on even without observability sinks attached.
+        self.slo = slo
+        if slo is not None:
+            slo.validate()
+        self.alert_rules = alert_rules
         #: Scenario name stamped onto the result (purely provenance:
         #: it never affects execution).
         self.scenario = scenario
@@ -247,6 +260,11 @@ class ServeSession:
     def run(self) -> ServeResult:
         """Execute the serve run to completion."""
         cfg = self.config
+        obs = self.obs
+        if obs is not None and obs.metrics is not None:
+            # Back-to-back sessions against one registry must not
+            # accumulate each other's serve.* counters and series.
+            obs.metrics.reset_prefix("serve.")
         arrivals = generate_arrivals(cfg)
         if not arrivals:
             raise ValueError(
@@ -291,6 +309,19 @@ class ServeSession:
         self._first_throttle_us: float | None = None
         self._first_queue_us: float | None = None
         self._first_shed_us: float | None = None
+        # The live telemetry hub only exists when something consumes
+        # it: live admission, an SLO config, explicit alert rules, or
+        # an attached observability stack.  With none of those the hot
+        # path stays one attribute check, exactly as before.
+        self._telemetry = None
+        if (cfg.live_admission or self.slo is not None
+                or self.alert_rules is not None
+                or (obs is not None and obs.enabled)):
+            self._telemetry = LiveTelemetry(
+                cfg, slo=self.slo, rules=self.alert_rules,
+                bus=self._bus,
+                metrics=obs.metrics if obs is not None else None)
+        self._tl = obs.timeline if obs is not None else None
 
         now = 0.0
         pending = deque(arrivals)
@@ -308,6 +339,8 @@ class ServeSession:
                     continue
                 break
             now = self._run_round(now)
+        if self._telemetry is not None:
+            self._telemetry.finish(now)
         return self._result(now)
 
     # -- admission -------------------------------------------------------
@@ -318,6 +351,9 @@ class ServeSession:
             tenant=tenant.id, workload=tenant.workload_name,
             at_us=arrival.at_us, footprint_mb=tenant.footprint_mb))
         decision = self._controller.offer(tenant.id, tenant.blocks, now)
+        if self._telemetry is not None:
+            self._telemetry.on_arrival(tenant.id, now,
+                                       shed=decision.action == "shed")
         if decision.action == "admit":
             self._admit(tenant, now, queued_us=now - tenant.arrival_us)
         elif decision.action == "queue":
@@ -335,6 +371,8 @@ class ServeSession:
         tenant.admitted_us = now
         tenant.queued_us = queued_us
         self._live.append(tenant)
+        if self._telemetry is not None:
+            self._telemetry.on_admit(tenant.id)
         oversub = self._controller.oversubscription
         self._peak_oversub = max(self._peak_oversub, oversub)
         self._emit(TenantAdmitted(
@@ -365,6 +403,12 @@ class ServeSession:
             if tenant.throttle_left > 0:
                 tenant.throttle_left -= 1
                 tenant.throttled_rounds += 1
+        if self._telemetry is not None:
+            # Evaluate windows/SLOs/alerts before the throttle check so
+            # live admission sees this round's interference estimates.
+            self._telemetry.tick(
+                now, self._controller.oversubscription, self._live,
+                self._driver.attribution.thrash_migrations)
         self._maybe_throttle(now)
         return now
 
@@ -373,7 +417,12 @@ class ServeSession:
         attribution = driver.attribution
         wave_cycles = self._timing.wave_cycles
         clock_mhz = self._clock_mhz
+        telemetry = self._telemetry
+        tl = self._tl
         attribution.current = tenant.id
+        if tl is not None:
+            tl.begin(f"quantum t{tenant.id}", tid=TID_SERVE,
+                     args={"span": f"t{tenant.id}", "tenant": tenant.id})
         try:
             for _ in range(self.config.quantum):
                 wave = next(tenant.stream, None)
@@ -389,14 +438,36 @@ class ServeSession:
                 tenant.accesses += outcome.n_accesses
                 tenant.latency.observe(wave_us)
                 self._latency.observe(wave_us)
+                if telemetry is not None:
+                    telemetry.on_wave(tenant.id, now, wave_us,
+                                      outcome.n_accesses)
         finally:
             attribution.current = -1
+            if tl is not None:
+                tl.end(f"quantum t{tenant.id}", tid=TID_SERVE)
         return now
 
     def _maybe_throttle(self, now: float) -> None:
-        """Suspend the heaviest-thrashing tenant past the watermark."""
+        """Suspend the heaviest-thrashing tenant past the watermark.
+
+        With ``live_admission`` the trigger and the victim choice both
+        consult the live telemetry hub: the throttle engages when the
+        *windowed* interference estimate (EWMA thrash migrations per
+        wave) crosses ``live_thrash_threshold`` -- even below the
+        static oversubscription watermark -- and suspends the tenant
+        with the highest windowed thrash rate (ties broken by
+        cumulative attribution, then lowest id) instead of the highest
+        all-time total.
+        """
         cfg = self.config
-        if self._controller.oversubscription < cfg.throttle_watermark:
+        telemetry = self._telemetry
+        live = cfg.live_admission and telemetry is not None
+        if live:
+            if (self._controller.oversubscription < cfg.throttle_watermark
+                    and telemetry.interference()
+                    < cfg.live_thrash_threshold):
+                return
+        elif self._controller.oversubscription < cfg.throttle_watermark:
             return
         if any(t.throttle_left > 0 for t in self._live):
             return  # one suspension at a time
@@ -404,8 +475,15 @@ class ServeSession:
         if len(runnable) < 2:
             return  # never suspend the last runnable stream
         attribution = self._driver.attribution
-        victim = max(runnable,
-                     key=lambda t: (attribution.thrash_of(t.id), -t.id))
+        if live:
+            victim = max(runnable,
+                         key=lambda t: (telemetry.thrash_rate(t.id),
+                                        attribution.thrash_of(t.id),
+                                        -t.id))
+        else:
+            victim = max(runnable,
+                         key=lambda t: (attribution.thrash_of(t.id),
+                                        -t.id))
         victim.throttle_left = cfg.throttle_rounds
         victim.throttle_events += 1
         self._throttle_events += 1
@@ -429,6 +507,8 @@ class ServeSession:
         self._controller.release(tenant.blocks)
         self._completed += 1
         attribution = self._driver.attribution
+        if self._telemetry is not None:
+            self._telemetry.on_complete(tenant.id, now)
         self._emit(TenantComplete(
             tenant=tenant.id, at_us=now, waves=tenant.waves,
             freed_blocks=freed, writeback_blocks=writebacks,
@@ -472,6 +552,14 @@ class ServeSession:
         shed_rate = controller.sheds / len(self._tenants)
         aps = (total_accesses / (now / 1e6)) if now > 0 else 0.0
         p99 = self._latency.quantile(0.99)
+        telemetry = self._telemetry
+        slo_violations = 0
+        alerts_fired = 0
+        if telemetry is not None:
+            alerts_fired = sum(1 for ev in telemetry.alerts.transcript
+                               if ev.state == "firing")
+            if telemetry.slo is not None:
+                slo_violations = telemetry.slo.total_violations()
         result = ServeResult(
             config=self.config,
             backend=self._driver.backend_name,
@@ -496,7 +584,9 @@ class ServeSession:
             first_queue_us=self._first_queue_us,
             first_shed_us=self._first_shed_us,
             driver_totals=dataclasses.asdict(self._driver.stats.totals),
-            scenario=self.scenario)
+            scenario=self.scenario,
+            slo_violations=slo_violations,
+            alerts_fired=alerts_fired)
         obs = self.obs
         if obs is not None and obs.metrics is not None:
             m = obs.metrics

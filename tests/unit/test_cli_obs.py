@@ -183,7 +183,8 @@ class TestArchiveWorkflow:
         trace_path = tmp_path / "t.trace.json"
         assert main(["run", "ra", "--scale", "tiny", "--oversub", "1.5",
                      "--timeline", str(trace_path)]) == 0
-        assert "[timeline" in capsys.readouterr().out
+        # Artifact notes go to stderr (stdout stays machine-readable).
+        assert "[timeline" in capsys.readouterr().err
         trace = json.loads(trace_path.read_text())
         assert validate_trace(trace) == []
         names = {e.get("name") for e in trace["traceEvents"]}

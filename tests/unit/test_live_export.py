@@ -1,0 +1,94 @@
+"""Unit tests for the OpenMetrics text exposition."""
+
+import math
+
+from repro.obs.live.export import (
+    _bucket_upper,
+    _fmt,
+    _sanitize,
+    to_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestHelpers:
+    def test_sanitize_dots_and_symbols(self):
+        assert _sanitize("serve.shed_rate") == "serve_shed_rate"
+        assert _sanitize("serve.tenant.3.ewma") == "serve_tenant_3_ewma"
+        assert _sanitize("a-b c") == "a_b_c"
+
+    def test_sanitize_leading_digit(self):
+        assert _sanitize("9lives") == "_9lives"
+
+    def test_bucket_upper(self):
+        assert _bucket_upper("0") == 0.0
+        assert _bucket_upper("1") == 1.0
+        assert _bucket_upper("(8, 16]") == 16.0
+
+    def test_fmt(self):
+        assert _fmt(3.0) == "3"
+        assert _fmt(3.5) == "3.5"
+        assert _fmt(math.inf) == "+Inf"
+        assert _fmt(-math.inf) == "-Inf"
+        assert _fmt(math.nan) == "NaN"
+
+
+class TestExposition:
+    def test_registry_renders_all_metric_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.waves").inc(42)
+        reg.gauge("serve.oversub").set(1.5)
+        series = reg.series("serve.queue_depth")
+        series.append(0.0, 1.0)
+        series.append(10.0, 3.0)
+        hist = reg.histogram("serve.latency")
+        for v in (1, 2, 9, 17):
+            hist.observe(v)
+        text = to_openmetrics(reg)
+        assert "# TYPE serve_waves counter" in text
+        assert "serve_waves_total 42" in text
+        assert "serve_oversub 1.5" in text
+        # Series export their last point as a gauge.
+        assert "serve_queue_depth 3" in text
+        assert "# TYPE serve_latency histogram" in text
+        assert 'serve_latency_bucket{le="+Inf"} 4' in text
+        assert "serve_latency_sum 29" in text
+        assert "serve_latency_count 4" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_buckets_are_cumulative_and_ordered(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for v in (1, 1, 3, 100):
+            hist.observe(v)
+        lines = [l for l in to_openmetrics(reg).splitlines()
+                 if l.startswith("h_bucket")]
+        uppers = [l.split('le="')[1].split('"')[0] for l in lines]
+        assert uppers[-1] == "+Inf"
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 4
+
+    def test_accepts_plain_snapshot_dict(self):
+        """A loaded --metrics JSON file works interchangeably."""
+        reg = MetricsRegistry()
+        reg.counter("n").inc(7)
+        assert to_openmetrics(reg.as_dict()) == to_openmetrics(reg)
+
+    def test_names_are_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zz").inc(1)
+        reg.counter("aa").inc(1)
+        text = to_openmetrics(reg)
+        assert text.index("aa_total") < text.index("zz_total")
+
+    def test_empty_snapshot_is_just_eof(self):
+        assert to_openmetrics({}) == "# EOF\n"
+
+    def test_write_openmetrics(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(1)
+        out = tmp_path / "metrics.prom"
+        write_openmetrics(reg, out)
+        assert out.read_text() == to_openmetrics(reg)

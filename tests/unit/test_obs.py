@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.obs import (
+    AlertFired,
     CounterHalving,
     EventBus,
     Eviction,
@@ -21,6 +22,9 @@ from repro.obs import (
     PrefetchExpand,
     RingBufferSink,
     RunMeta,
+    SloAttainment,
+    SloViolation,
+    TelemetryWindow,
     TenantAdmitted,
     TenantArrival,
     TenantComplete,
@@ -66,6 +70,18 @@ class TestEvents:
                            freed_blocks=256, writeback_blocks=12,
                            p99_wave_latency_us=410.0,
                            thrash_migrations=3, cross_evictions=7),
+            TelemetryWindow(tenant=0, start_us=0.0, window_us=5000.0,
+                            waves=8, accesses=4096, mean_latency_us=88.0,
+                            max_latency_us=410.0, bad_waves=1,
+                            ewma_latency_us=92.5, thrash_rate=0.75),
+            SloViolation(tenant=0, at_us=5000.0, objective="p99_latency",
+                         burn_fast=4.0, burn_slow=2.5, value=410.0,
+                         target=300.0),
+            SloAttainment(tenant=-1, at_us=9000.0, objective="shed_rate",
+                          attainment=0.85, target=0.9, met=False),
+            AlertFired(name="thrash_pressure", at_us=6000.0, tenant=-1,
+                       metric="serve.thrash_per_wave", value=0.9,
+                       threshold=0.25, state="firing"),
         ]
         assert {type(s) for s in samples} == set(EVENT_TYPES.values())
         for event in samples:
@@ -141,6 +157,27 @@ class TestSinks:
         sink.close()
         rows = [json.loads(line) for line in path.read_text().splitlines()]
         assert [from_dict(r) for r in rows] == events
+
+    def test_jsonl_sink_flush_every_makes_log_tailable(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        events = [_decision(block=b) for b in range(5)]
+        for e in events:
+            sink.write(e)
+        # 4 of 5 events flushed (two batches of 2); sink still open.
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) >= 4
+        sink.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [from_dict(r) for r in rows] == events
+
+    def test_jsonl_sink_flush_every_rejects_gzip(self, tmp_path):
+        with pytest.raises(ValueError, match="gzip"):
+            JsonlSink(tmp_path / "events.jsonl.gz", flush_every=1)
+
+    def test_jsonl_sink_flush_every_rejects_nonpositive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlSink(tmp_path / "events.jsonl", flush_every=0)
 
     def test_metrics_sink_rollup(self):
         reg = MetricsRegistry()
@@ -264,6 +301,35 @@ class TestMetrics:
         data = json.loads(path.read_text())
         assert data["a"]["value"] == 3
         assert data["b"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(1.5)
+        reg.reset()
+        assert reg.as_dict() == {}
+        # New metrics after a reset start from zero.
+        assert reg.counter("a").value == 0
+
+    def test_reset_prefix_is_selective(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.waves").inc(10)
+        reg.counter("serve.tenant.0.x").inc(1)
+        reg.counter("driver.evictions").inc(2)
+        reg.reset_prefix("serve.")
+        snap = reg.as_dict()
+        assert "serve.waves" not in snap
+        assert "serve.tenant.0.x" not in snap
+        assert snap["driver.evictions"]["value"] == 2
+
+    def test_reset_orphans_cached_metric_objects(self):
+        """The documented sharp edge: cached handles detach on reset."""
+        reg = MetricsRegistry()
+        cached = reg.counter("n")
+        cached.inc(5)
+        reg.reset()
+        cached.inc(1)  # mutates the orphan, not the registry
+        assert reg.counter("n").value == 0
 
 
 class TestProfiler:

@@ -98,6 +98,85 @@ class TestAllocationTrend:
         assert t.trajectory() == [] and t.sparkline() == ""
 
 
+def _telemetry_events():
+    """A serve log slice exercising the live-telemetry event kinds."""
+    from repro.obs.events import (AlertFired, SloAttainment, SloViolation,
+                                  TelemetryWindow, TenantArrival,
+                                  TenantComplete)
+    return [
+        META,
+        TenantArrival(tenant=0, workload="ra", at_us=0.0,
+                      footprint_mb=16.0),
+        TelemetryWindow(tenant=0, start_us=0.0, window_us=5000.0,
+                        waves=10, accesses=5120, mean_latency_us=90.0,
+                        max_latency_us=350.0, bad_waves=3,
+                        ewma_latency_us=96.5, thrash_rate=1.25),
+        TelemetryWindow(tenant=0, start_us=5000.0, window_us=5000.0,
+                        waves=6, accesses=3072, mean_latency_us=80.0,
+                        max_latency_us=120.0, bad_waves=0,
+                        ewma_latency_us=84.2, thrash_rate=0.5),
+        SloViolation(tenant=0, at_us=5000.0, objective="p99_latency",
+                     burn_fast=4.0, burn_slow=2.1, value=350.0,
+                     target=300.0),
+        SloViolation(tenant=-1, at_us=5500.0, objective="shed_rate",
+                     burn_fast=9.0, burn_slow=5.0, value=0.4, target=0.1),
+        AlertFired(name="hot", at_us=6000.0, tenant=0,
+                   metric="tenant.ewma_latency_us", value=96.5,
+                   threshold=90.0, state="firing"),
+        AlertFired(name="hot", at_us=7000.0, tenant=0,
+                   metric="tenant.ewma_latency_us", value=84.2,
+                   threshold=90.0, state="resolved"),
+        SloAttainment(tenant=0, at_us=9000.0, objective="p99_latency",
+                      attainment=0.812, target=0.95, met=False),
+        TenantComplete(tenant=0, at_us=9000.0, waves=16, freed_blocks=256,
+                       writeback_blocks=4, p99_wave_latency_us=350.0),
+        SloAttainment(tenant=-1, at_us=9500.0, objective="shed_rate",
+                      attainment=0.6, target=0.9, met=False),
+    ]
+
+
+class TestTelemetrySummaries:
+    def test_tenant_rows_fold_in_live_telemetry(self):
+        s = summarize(_telemetry_events())
+        t = s.tenants[0]
+        assert t.windows == 2
+        assert t.ewma_latency_us == 84.2  # last window wins
+        assert t.thrash_rate == 0.5
+        assert t.slo_violations == 1
+        assert t.slo_attainment == 0.812
+        assert t.slo_met is False
+        assert t.alerts == 1  # firing transitions only
+
+    def test_service_level_rollups(self):
+        s = summarize(_telemetry_events())
+        assert s.service_slo_violations == 1
+        assert s.alert_counts == {"hot": 1}
+        assert s.service_attainment == {"shed_rate": (0.6, False)}
+
+    def test_round_trips_through_jsonl(self, tmp_path):
+        """Satellite contract: inspect columns survive a log round-trip."""
+        path = tmp_path / "serve.jsonl"
+        sink = JsonlSink(path)
+        for ev in _telemetry_events():
+            sink.write(ev)
+        sink.close()
+        direct = summarize(_telemetry_events())
+        loaded = summarize(path)
+        assert loaded.event_counts == direct.event_counts
+        assert loaded.tenants[0] == direct.tenants[0]
+        assert loaded.alert_counts == direct.alert_counts
+        assert loaded.service_attainment == direct.service_attainment
+        assert render_summary(loaded) == render_summary(direct)
+
+    def test_render_shows_slo_columns_and_alert_section(self):
+        text = render_summary(summarize(_telemetry_events()))
+        assert "slo att" in text and "alerts" in text
+        assert "0.812 MISS" in text
+        assert "live telemetry" in text
+        assert "hotx1" in text
+        assert "shed_rate" in text
+
+
 class TestRender:
     def test_render_mentions_key_sections(self):
         text = render_summary(summarize(_decisions()))

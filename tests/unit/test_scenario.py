@@ -215,6 +215,48 @@ class TestCompile:
         assert cfg.workload_mix == ("ra", "bfs")
         assert cfg.seed == 7
 
+    def test_serve_live_keys_flow_through(self):
+        cfg = build_serve_config(
+            {"name": "s", "mode": "serve",
+             "serve": {"live_admission": True,
+                       "live_thrash_threshold": 0.1, "window_ms": 2.0}})
+        assert cfg.live_admission
+        assert cfg.live_thrash_threshold == 0.1
+        assert cfg.window_ms == 2.0
+
+    def test_slo_section_validates(self):
+        from repro.scenario import check
+        assert check({"name": "s", "mode": "serve",
+                      "slo": {"p99_latency_us": 300.0,
+                              "max_shed_rate": 0.1}}) == []
+        errors = check({"name": "s", "mode": "serve",
+                        "slo": {"p99_latencyus": 300.0}})
+        assert any("p99_latency" in e for e in errors)
+
+    def test_build_slo_config(self):
+        from repro.scenario import build_slo_config
+        slo = build_slo_config(
+            {"name": "s", "mode": "serve",
+             "slo": {"p99_latency_us": 300.0, "latency_attainment": 0.9,
+                     "fast_windows": 2, "slow_windows": 6}})
+        assert slo is not None and slo.enabled
+        assert slo.p99_latency_us == 300.0
+        assert slo.latency_attainment == 0.9
+        assert (slo.fast_windows, slo.slow_windows) == (2, 6)
+
+    def test_build_slo_config_none_without_objectives(self):
+        from repro.scenario import build_slo_config
+        assert build_slo_config({"name": "s", "mode": "serve"}) is None
+        # Tuning knobs alone (no objective) also stay inert.
+        assert build_slo_config({"name": "s", "mode": "serve",
+                                 "slo": {"fast_windows": 2}}) is None
+
+    def test_build_slo_config_rejects_invalid(self):
+        from repro.scenario import build_slo_config
+        with pytest.raises(ValueError):
+            build_slo_config({"name": "s", "mode": "serve",
+                              "slo": {"p99_latency_us": -1.0}})
+
     def test_sim_config_matches_hand_built(self):
         data = {"name": "s", "workload": "ra",
                 "policy": {"variant": "always", "static_threshold": 16}}

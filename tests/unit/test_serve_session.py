@@ -158,6 +158,66 @@ class TestObservability:
         assert snap["serve.waves"]["value"] == r.total_waves
 
 
+class TestLiveTelemetry:
+    SLO = None  # set lazily to keep the import local to the class
+
+    def _slo(self):
+        from repro.obs.live import SloConfig
+        return SloConfig(p99_latency_us=300.0, latency_attainment=0.95,
+                         max_shed_rate=0.1)
+
+    def test_back_to_back_serves_reset_serve_metrics(self):
+        """Satellite contract: one registry, two serves, no stale rows."""
+        obs = Observability.create(metrics=True)
+        ServeSession(ServeConfig(**OVERLOAD), obs=obs,
+                     slo=self._slo()).run()
+        first = {k: v for k, v in obs.metrics.as_dict().items()
+                 if k.startswith("serve.")}
+        assert any(k.startswith("serve.tenant.") for k in first)
+        ServeSession(ServeConfig(tenants=2, seed=3), obs=obs).run()
+        second = {k: v for k, v in obs.metrics.as_dict().items()
+                  if k.startswith("serve.")}
+        # The second (2-tenant, SLO-free) serve re-creates its own
+        # rows but must not inherit the overload run's: no tenant ids
+        # beyond its own two, no SLO gauges, no alert counters.
+        assert not any(k.startswith(f"serve.tenant.{tid}.")
+                       for k in second for tid in range(2, 10))
+        assert not any(k.endswith(".slo_attainment") for k in second)
+        assert not any(k.startswith("serve.alert.") for k in second)
+        assert second["serve.alerts_fired"]["value"] == 0
+        assert second["serve.waves"]["value"] > 0
+
+    def test_result_rolls_up_violations_and_alerts(self):
+        obs = Observability(metrics=None)
+        ring = RingBufferSink(65536)
+        obs.bus.attach(ring)
+        r = ServeSession(ServeConfig(**OVERLOAD), obs=obs,
+                         slo=self._slo()).run()
+        events = list(ring)
+        violations = [e for e in events if e.kind == "slo_violation"]
+        firing = [e for e in events
+                  if e.kind == "alert_fired" and e.state == "firing"]
+        assert r.slo_violations == len(violations) > 0
+        assert r.alerts_fired == len(firing) > 0
+        windows = [e for e in events if e.kind == "telemetry_window"]
+        assert windows and all(w.window_us == 5000.0 for w in windows)
+
+    def test_invalid_slo_rejected_eagerly(self):
+        from repro.obs.live import SloConfig
+        with pytest.raises(ValueError, match="invalid SLO config"):
+            ServeSession(ServeConfig(tenants=2, seed=0),
+                         slo=SloConfig(p99_latency_us=-5.0))
+
+    def test_slo_without_obs_still_counts(self):
+        """The SLO engine works with no sinks attached at all."""
+        r = ServeSession(ServeConfig(**OVERLOAD), slo=self._slo()).run()
+        assert r.slo_violations > 0
+
+    def test_no_telemetry_without_opt_in(self):
+        r = run(**OVERLOAD)
+        assert r.slo_violations == 0 and r.alerts_fired == 0
+
+
 class TestResultEncoding:
     def test_as_dict_is_json_safe(self):
         import json
@@ -165,6 +225,7 @@ class TestResultEncoding:
         json.dumps(d)  # must not raise
         assert d["config"]["tenants"] == 4
         assert len(d["tenants"]) == d["arrivals"]
+        assert d["slo_violations"] == 0 and d["alerts_fired"] == 0
 
     def test_driver_totals_included(self):
         d = run().as_dict()
