@@ -582,7 +582,11 @@ def _print_serve_summary(result) -> None:
         ["first shed (ms)", fmt_us(result.first_shed_us)],
         ["slo violations", result.slo_violations],
         ["alerts fired", result.alerts_fired],
+        ["scheduler", result.scheduler],
     ]
+    if result.batches:
+        rows.append(["fused batches", result.batches])
+        rows.append(["batch occupancy", f"{result.batch_occupancy:.2f}"])
     print(format_table(["metric", "value"], rows,
                        title=f"== serve: {result.arrivals} tenants @ "
                              f"{result.config.capacity_mb}MB "
@@ -642,8 +646,21 @@ def _load_slo_config(args):
     return config
 
 
+def _parse_weights(spec):
+    """Parse a ``--weights`` comma list into a float tuple."""
+    try:
+        weights = tuple(float(w.strip())
+                        for w in spec.split(",") if w.strip())
+    except ValueError:
+        raise SystemExit(
+            f"repro serve: --weights expects comma-separated numbers, "
+            f"got {spec!r}") from None
+    return weights
+
+
 def _apply_live_flags(args, serve_cfg):
-    """Overlay ``--live-admission`` / ``--window-ms`` onto a config."""
+    """Overlay explicitly-passed serve flags onto a scenario config
+    (``--live-admission`` / ``--window-ms`` / scheduler family)."""
     import dataclasses
     updates = {}
     if getattr(args, "live_admission", False):
@@ -652,6 +669,14 @@ def _apply_live_flags(args, serve_cfg):
         updates["live_thrash_threshold"] = args.live_thrash_threshold
     if getattr(args, "window_ms", None) is not None:
         updates["window_ms"] = args.window_ms
+    if getattr(args, "scheduler", None) is not None:
+        updates["scheduler"] = args.scheduler
+    if getattr(args, "batch_waves", False):
+        updates["batch_waves"] = True
+    if getattr(args, "weights", None) is not None:
+        updates["weights"] = _parse_weights(args.weights)
+    if getattr(args, "throttle_decay", None) is not None:
+        updates["throttle_decay"] = args.throttle_decay
     if not updates:
         return serve_cfg
     return dataclasses.replace(serve_cfg, **updates).validate()
@@ -738,6 +763,13 @@ def cmd_serve(args) -> int:
                                    else 0.25),
             window_ms=(args.window_ms if args.window_ms is not None
                        else 5.0),
+            scheduler=(args.scheduler if args.scheduler is not None
+                       else "round_robin"),
+            batch_waves=args.batch_waves,
+            weights=(_parse_weights(args.weights)
+                     if args.weights is not None else ()),
+            throttle_decay=(args.throttle_decay
+                            if args.throttle_decay is not None else 0.25),
             seed=args.seed).validate()
     except ValueError as exc:
         raise SystemExit(f"repro serve: {exc}") from None
@@ -1116,7 +1148,7 @@ def build_parser() -> argparse.ArgumentParser:
     pp.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("serve", help="multi-tenant open-loop serving run")
-    from .config import KNOWN_ARRIVAL_PROCESSES
+    from .config import KNOWN_ARRIVAL_PROCESSES, KNOWN_SCHEDULERS
     p.add_argument("--config", default=None, metavar="YAML",
                    help="run a mode: serve scenario config instead of "
                         "flags (see docs/scenarios.md)")
@@ -1161,6 +1193,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="waves per runnable tenant per scheduler round")
     p.add_argument("--throttle-rounds", type=int, default=8,
                    help="scheduler rounds a throttled tenant sits out")
+    p.add_argument("--scheduler", default=None,
+                   choices=KNOWN_SCHEDULERS,
+                   help="wave scheduler: round_robin (legacy quantum "
+                        "rotation, the default) or drr (deficit-"
+                        "weighted fair queuing; throttling decays the "
+                        "weight instead of suspending the stream)")
+    p.add_argument("--batch-waves", action="store_true",
+                   help="fuse each multi-tenant scheduler slot into one "
+                        "driver dispatch (pure perf hint: results are "
+                        "bit-identical to sequential execution)")
+    p.add_argument("--weights", default=None, metavar="W1,W2,...",
+                   help="comma-separated drr fair-share weights; tenant "
+                        "i gets weight i mod len (default: equal "
+                        "shares)")
+    p.add_argument("--throttle-decay", type=float, default=None,
+                   metavar="FACTOR",
+                   help="drr weight multiplier while a tenant is "
+                        "throttled (default 0.25)")
     p.add_argument("--json", action="store_true",
                    help="print the full serve result as JSON")
     p.add_argument("--slo-config", default=None, metavar="YAML",

@@ -462,6 +462,9 @@ class SimulationConfig:
 #: Arrival processes the serving layer's traffic generator supports.
 KNOWN_ARRIVAL_PROCESSES: tuple[str, ...] = ("poisson", "bursty")
 
+#: Wave schedulers the serving layer supports (``serve.scheduler``).
+KNOWN_SCHEDULERS: tuple[str, ...] = ("round_robin", "drr")
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -533,6 +536,23 @@ class ServeConfig:
     live_thrash_threshold: float = 0.25
     #: Tumbling-window width for live telemetry, simulated milliseconds.
     window_ms: float = 5.0
+    #: Wave scheduler: ``round_robin`` (legacy quantum interleaving,
+    #: the reference path) or ``drr`` (deficit-weighted fair queuing:
+    #: each round a tenant accrues ``weight * quantum`` deficit and
+    #: runs ``floor(deficit)`` waves; throttling decays the weight by
+    #: ``throttle_decay`` instead of suspending the stream).
+    scheduler: str = "round_robin"
+    #: Fuse each scheduler sub-round's waves (one per distinct tenant)
+    #: into a single segmented driver dispatch.  A pure perf hint like
+    #: ``--shards``: results are bit-identical either way.
+    batch_waves: bool = False
+    #: Configured per-tenant shares for the ``drr`` scheduler; tenant
+    #: ``i`` gets ``weights[i % len(weights)]``.  Empty: every tenant
+    #: weighs 1.0.  Ignored by ``round_robin``.
+    weights: tuple[float, ...] = ()
+    #: Weight multiplier applied to a throttled tenant under ``drr``
+    #: (graceful slowdown instead of the round_robin full suspension).
+    throttle_decay: float = 0.25
     seed: int = 0
 
     def replace(self, **kwargs) -> "ServeConfig":
@@ -585,6 +605,15 @@ class ServeConfig:
         if self.window_ms <= 0.0:
             errors.append(f"window_ms must be positive, got "
                           f"{self.window_ms!r}")
+        if self.scheduler not in KNOWN_SCHEDULERS:
+            errors.append(f"unknown scheduler {self.scheduler!r}; "
+                          f"choose from {KNOWN_SCHEDULERS}")
+        if any(w <= 0.0 for w in self.weights):
+            errors.append(f"weights must all be positive, got "
+                          f"{self.weights!r}")
+        if not (0.0 < self.throttle_decay <= 1.0):
+            errors.append(f"throttle_decay must be in (0, 1], got "
+                          f"{self.throttle_decay!r}")
         if errors:
             raise ValueError(
                 "invalid ServeConfig:\n  - " + "\n  - ".join(errors))
@@ -604,6 +633,7 @@ class ServeConfig:
         """Flat JSON-safe encoding (archived in serve-run manifests)."""
         d = dataclasses.asdict(self)
         d["workload_mix"] = list(self.workload_mix)
+        d["weights"] = list(self.weights)
         return d
 
 

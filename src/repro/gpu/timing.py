@@ -88,3 +88,31 @@ class TimingModel:
         t.total = (max(t.compute, t.local + t.remote)
                    + t.fault_handling + t.migration + t.writeback)
         return t
+
+    def wave_total_cycles(self, outcome: WaveOutcome,
+                          compute_cycles: float | None = None) -> float:
+        """``wave_cycles(...).total`` without the breakdown object.
+
+        The serve hot loop charges a single scalar per wave, so it
+        skips the :class:`WaveTiming` construction and field writes.
+        Identical arithmetic and PCIe byte-accounting side effects as
+        :meth:`wave_cycles` (pinned equal by test).
+        """
+        tcfg = self.config.timing
+        if compute_cycles is None:
+            compute_cycles = (outcome.n_accesses
+                              * tcfg.compute_cycles_per_access
+                              + tcfg.wave_overhead_cycles)
+        compute = float(compute_cycles)
+        pcie = self.pcie
+        mem = (outcome.n_local * tcfg.bytes_per_access
+               / self.dram_bytes_per_cycle
+               + pcie.remote_cycles(outcome.n_remote))
+        stall = (pcie.fault_handling_cycles(outcome.fault_events)
+                 + pcie.migration_cycles(outcome.h2d_blocks)
+                 + pcie.writeback_cycles(outcome.writeback_blocks))
+        if outcome.retried_transfers:
+            stall += pcie.retry_cycles(outcome.retried_transfers)
+        if outcome.retry_backoff_us:
+            stall += self.config.gpu.us_to_cycles(outcome.retry_backoff_us)
+        return (compute if compute > mem else mem) + stall

@@ -47,6 +47,7 @@ from .events import (
     TenantAdmitted,
     TenantArrival,
     TenantComplete,
+    TenantSched,
     TenantShed,
     TenantThrottled,
     from_dict,
@@ -162,6 +163,7 @@ __all__ = [
     "TenantAdmitted",
     "TenantArrival",
     "TenantComplete",
+    "TenantSched",
     "TenantShed",
     "TenantThrottled",
     "TimelineProfiler",

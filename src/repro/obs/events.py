@@ -239,6 +239,30 @@ class TenantComplete(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class TenantSched(Event):
+    """A completing tenant's fair-scheduler accounting (``repro serve``).
+
+    Emitted alongside :class:`TenantComplete` when the serve session
+    runs a non-default scheduler or wave batching (never on the default
+    round-robin path, whose event stream stays byte-identical to the
+    pre-scheduler serving layer).  ``weight`` is the tenant's configured
+    fair share and ``deficit`` the fractional wave credit carried at
+    completion (DRR invariant: always in ``[0, 1)``); ``batched_waves``
+    counts the tenant's waves that ran inside fused multi-tenant batch
+    dispatches rather than lone ``process_wave`` calls.
+    """
+
+    kind = "tenant_sched"
+
+    tenant: int
+    at_us: float
+    weight: float
+    deficit: float
+    waves: int
+    batched_waves: int
+
+
+@dataclass(frozen=True, slots=True)
 class TelemetryWindow(Event):
     """One closed tumbling window of a tenant's live wave telemetry.
 
@@ -334,7 +358,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (RunMeta, MigrationDecision, Eviction, CounterHalving,
                 FaultRetry, PrefetchExpand, TenantArrival, TenantAdmitted,
-                TenantShed, TenantThrottled, TenantComplete,
+                TenantShed, TenantThrottled, TenantComplete, TenantSched,
                 TelemetryWindow, SloViolation, SloAttainment, AlertFired)
 }
 

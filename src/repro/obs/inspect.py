@@ -37,6 +37,7 @@ from .events import (
     TenantAdmitted,
     TenantArrival,
     TenantComplete,
+    TenantSched,
     TenantShed,
     TenantThrottled,
     from_dict,
@@ -153,6 +154,12 @@ class TenantSummary:
     slo_met: bool | None = None
     #: Alert ``firing`` transitions scoped to this tenant.
     alerts: int = 0
+    #: Fair-scheduler accounting from TenantSched (non-default
+    #: schedulers / wave batching only; ``sched_seen`` gates display).
+    sched_seen: bool = False
+    weight: float = 1.0
+    deficit: float = 0.0
+    batched_waves: int = 0
 
     @property
     def state(self) -> str:
@@ -304,6 +311,12 @@ def summarize(path_or_events) -> LogSummary:
             row.p99_wave_latency_us = ev.p99_wave_latency_us
             row.thrash_migrations = ev.thrash_migrations
             row.cross_evictions = ev.cross_evictions
+        elif type(ev) is TenantSched:
+            row = s.tenant(ev.tenant)
+            row.sched_seen = True
+            row.weight = ev.weight
+            row.deficit = ev.deficit
+            row.batched_waves = ev.batched_waves
         elif type(ev) is TelemetryWindow:
             row = s.tenant(ev.tenant)
             row.windows += 1
@@ -415,6 +428,19 @@ def render_summary(summary: LogSummary, top: int = 10) -> str:
              "queued ms", "throttles", "waves", "p99 us", "interference",
              "slo att", "alerts"],
             rows))
+        sched = [summary.tenants[tid] for tid in sorted(summary.tenants)
+                 if summary.tenants[tid].sched_seen]
+        if sched:
+            lines.append("")
+            lines.append("-- fair scheduler: weights, carried deficit, "
+                         "fused-batch share")
+            lines.append(_table(
+                ["tenant", "weight", "deficit", "waves", "batched",
+                 "batched %"],
+                [[t.tenant, f"{t.weight:g}", f"{t.deficit:.3f}", t.waves,
+                  t.batched_waves,
+                  f"{t.batched_waves / t.waves:.0%}" if t.waves else "-"]
+                 for t in sched]))
         if summary.alert_counts or summary.service_attainment \
                 or summary.service_slo_violations:
             lines.append("")

@@ -159,6 +159,10 @@ _SERVE_FIELDS = {
     "serve.live_admission": ("live_admission", bool),
     "serve.live_thrash_threshold": ("live_thrash_threshold", float),
     "serve.window_ms": ("window_ms", float),
+    "serve.scheduler": ("scheduler", str),
+    "serve.batch_waves": ("batch_waves", bool),
+    "serve.weights": ("weights", lambda v: tuple(float(w) for w in v)),
+    "serve.throttle_decay": ("throttle_decay", float),
 }
 
 #: ``slo.*`` schema path -> (SloConfig field, coercion).

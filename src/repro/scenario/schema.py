@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import (KNOWN_ARRIVAL_PROCESSES, KNOWN_BACKENDS,
-                      KNOWN_THRESHOLD_VARIANTS)
+                      KNOWN_SCHEDULERS, KNOWN_THRESHOLD_VARIANTS)
 from ..multigpu.cluster import KNOWN_PARTITIONS
 from ..workloads import SCALES, workload_names
 
@@ -175,6 +175,17 @@ SCHEMA: dict[str, Key] = {k.path: k for k in (
        default=0.25),
     _k("serve.window_ms", (int, float), "live-telemetry tumbling-window "
        "width, simulated ms", default=5.0),
+    _k("serve.scheduler", str, "wave scheduler interleaving live "
+       "tenants", choices=KNOWN_SCHEDULERS, default="round_robin"),
+    _k("serve.batch_waves", bool, "fuse each multi-tenant scheduler "
+       "slot into one driver dispatch (pure perf hint: bit-identical "
+       "results)", default=False),
+    _k("serve.weights", list, "per-tenant fair-share weights under drr "
+       "(tenant i gets weights[i mod len]; empty = equal shares)",
+       default=[]),
+    _k("serve.throttle_decay", (int, float), "drr weight multiplier "
+       "while a tenant is throttled (1.0 = throttle ignored)",
+       default=0.25),
     # -- serving SLOs (mode: serve; enables the SLO engine) --------------
     _k("slo.p99_latency_us", (int, float), "per-tenant wave-latency "
        "target in simulated us (omit: no latency objective)",
@@ -265,6 +276,12 @@ def _check_value(path: str, value, errors: list[str]) -> None:
             if item not in known:
                 errors.append(f"{path}: unknown workload {item!r}; "
                               f"available: {', '.join(known)}")
+    if path == "serve.weights":
+        for item in value:
+            if not isinstance(item, (int, float)) or isinstance(item, bool) \
+                    or item <= 0:
+                errors.append(f"{path}: weights must be positive numbers, "
+                              f"got {item!r}")
 
 
 def _check_sweep(sweep, errors: list[str]) -> None:

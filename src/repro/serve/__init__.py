@@ -6,9 +6,11 @@ regime: a seeded open-loop traffic generator (:mod:`repro.serve.traffic`)
 spawns workload instances from the registry as *tenants*, a
 capacity-aware admission controller (:mod:`repro.serve.admission`)
 admits, queues or sheds them against the shared device capacity, and a
-wave-stream interleaver (:mod:`repro.serve.session`) round-robins
-admitted tenants' waves onto one shared
-:class:`~repro.uvm.driver.UvmDriver`.  Graceful degradation engages in
+wave-stream interleaver (:mod:`repro.serve.session`) schedules admitted
+tenants' waves onto one shared :class:`~repro.uvm.driver.UvmDriver`
+under a pluggable scheduler (:mod:`repro.serve.scheduler`: legacy round
+robin or deficit-weighted fair queuing, optionally with fused
+multi-tenant wave batching).  Graceful degradation engages in
 watermark escalation order -- throttle the heaviest-thrashing tenant
 (the paper's Section VIII proposal), then queue, then shed -- and every
 decision is a pure function of ``(seed, arrival trace, capacity)``, so
@@ -17,7 +19,9 @@ serve runs replay bit-identically.  See ``docs/serving.md``.
 
 from __future__ import annotations
 
-from .admission import AdmissionController, Decision
+from .admission import AdmissionController, Decision, tenant_weight
+from .scheduler import (DeficitRoundRobinScheduler, RoundRobinScheduler,
+                        WaveScheduler, make_scheduler)
 from .session import ServeResult, ServeSession, TenantRecord
 from .traffic import Arrival, generate_arrivals
 
@@ -25,8 +29,13 @@ __all__ = [
     "AdmissionController",
     "Arrival",
     "Decision",
+    "DeficitRoundRobinScheduler",
+    "RoundRobinScheduler",
     "ServeResult",
     "ServeSession",
     "TenantRecord",
+    "WaveScheduler",
     "generate_arrivals",
+    "make_scheduler",
+    "tenant_weight",
 ]

@@ -32,6 +32,18 @@ from collections import deque
 from dataclasses import dataclass
 
 
+def tenant_weight(weights: tuple[float, ...], tenant_id: int) -> float:
+    """Map the configured share vector onto one tenant's fair weight.
+
+    Tenant ``i`` gets ``weights[i % len(weights)]``; an empty vector
+    means equal shares (1.0).  This lives with admission because the
+    share vector is QoS policy -- the natural seam where an
+    SLO-class-to-weight mapping would plug in -- while the scheduler
+    (:mod:`repro.serve.scheduler`) just consumes the resolved weight.
+    """
+    return weights[tenant_id % len(weights)] if weights else 1.0
+
+
 @dataclass(frozen=True)
 class Decision:
     """One admission-control verdict, in decision order."""

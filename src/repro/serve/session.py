@@ -9,9 +9,14 @@ then drives the run loop on the simulated clock:
 
 * arrivals are offered to the admission controller
   (:mod:`repro.serve.admission`) as the clock passes them;
-* admitted tenants' wave streams are interleaved round-robin, each
-  runnable tenant contributing ``quantum`` waves per scheduler round to
-  the one shared :class:`~repro.uvm.driver.UvmDriver`;
+* admitted tenants' wave streams are interleaved by a pluggable
+  scheduler (:mod:`repro.serve.scheduler`): ``round_robin`` gives each
+  runnable tenant ``quantum`` contiguous waves per round (the legacy
+  reference path), ``drr`` interleaves tenants one wave at a time under
+  deficit-weighted fair queuing.  With ``batch_waves`` each multi-tenant
+  scheduler slot executes as one fused
+  :meth:`~repro.uvm.driver.UvmDriver.process_wave_batch` dispatch -- a
+  pure perf hint: outcomes are bit-identical to sequential execution;
 * graceful degradation engages in watermark escalation order: at the
   throttle watermark the heaviest-thrashing tenant's stream is
   suspended for ``throttle_rounds`` rounds (the paper's Section VIII
@@ -51,6 +56,7 @@ from ..obs.events import (
     TenantAdmitted,
     TenantArrival,
     TenantComplete,
+    TenantSched,
     TenantShed,
     TenantThrottled,
 )
@@ -61,6 +67,7 @@ from ..uvm.attribution import TenantAttribution
 from ..uvm.driver import UvmDriver
 from ..workloads.registry import make_workload
 from .admission import AdmissionController
+from .scheduler import make_scheduler
 from .traffic import Arrival, generate_arrivals
 
 #: SeedSequence stream key for per-tenant workload builds; combined
@@ -102,6 +109,13 @@ class TenantRecord:
     evicted_blocks: int
     freed_blocks: int
     writeback_blocks: int
+    #: Configured fair share under the active scheduler (1.0 = equal).
+    weight: float = 1.0
+    #: Fractional DRR wave credit carried at end of run (always in
+    #: ``[0, 1)``; 0.0 under round robin).
+    deficit: float = 0.0
+    #: Waves executed inside fused multi-tenant batch dispatches.
+    batched_waves: int = 0
 
     def as_dict(self) -> dict:
         """Flat JSON-safe encoding."""
@@ -145,6 +159,12 @@ class ServeResult:
     #: Live-telemetry rollups (0 when no telemetry hub was attached).
     slo_violations: int = 0
     alerts_fired: int = 0
+    #: Active wave scheduler (``serve.scheduler``).
+    scheduler: str = "round_robin"
+    #: Fused multi-tenant driver dispatches issued (0 without
+    #: ``batch_waves``) and the mean waves fused per dispatch.
+    batches: int = 0
+    batch_occupancy: float = 0.0
 
     def as_dict(self) -> dict:
         """Flat JSON-safe encoding (archived / printed by the CLI)."""
@@ -159,27 +179,32 @@ class _Tenant:
     """Mutable per-tenant lifecycle state inside the session."""
 
     __slots__ = ("id", "workload_name", "arrival_us", "blocks",
-                 "footprint_mb", "chunk_ids", "stream", "admitted_us",
-                 "queued_us", "shed_reason", "complete_us", "waves",
-                 "accesses", "latency", "throttle_left",
-                 "throttled_rounds", "throttle_events", "freed_blocks",
-                 "writeback_blocks")
+                 "footprint_mb", "chunk_ids", "workload", "stream",
+                 "admitted_us", "queued_us", "shed_reason", "complete_us",
+                 "waves", "batched_waves", "accesses", "latency",
+                 "throttle_left", "throttled_rounds", "throttle_events",
+                 "freed_blocks", "writeback_blocks")
 
     def __init__(self, tid: int, workload_name: str, arrival_us: float,
                  blocks: int, footprint_mb: float,
-                 chunk_ids: list[int], stream) -> None:
+                 chunk_ids: list[int], workload) -> None:
         self.id = tid
         self.workload_name = workload_name
         self.arrival_us = arrival_us
         self.blocks = blocks
         self.footprint_mb = footprint_mb
         self.chunk_ids = chunk_ids
-        self.stream = stream
+        #: Built workload, held until admission; the wave stream is
+        #: materialized lazily on admit so queued/shed tenants never pay
+        #: generation cost (and shed tenants free the workload early).
+        self.workload = workload
+        self.stream = None
         self.admitted_us: float | None = None
         self.queued_us = 0.0
         self.shed_reason = ""
         self.complete_us: float | None = None
         self.waves = 0
+        self.batched_waves = 0
         self.accesses = 0
         self.latency = Histogram()
         self.throttle_left = 0
@@ -252,7 +277,7 @@ class ServeSession:
             tenants.append(_Tenant(
                 a.tenant, a.workload, a.at_us, blocks,
                 sum(al.rounded_bytes for al in allocs) / MB,
-                chunk_ids, _wave_stream(workload)))
+                chunk_ids, workload))
         return vas, tenants
 
     # -- run loop --------------------------------------------------------
@@ -302,6 +327,10 @@ class ServeSession:
             driver.device.capacity_blocks, cfg.admit_watermark,
             cfg.shed_watermark, cfg.queue_depth)
         self._live: list[_Tenant] = []
+        self._scheduler = make_scheduler(cfg)
+        self._batch = cfg.batch_waves
+        self._batches = 0
+        self._batched_waves = 0
         self._latency = Histogram()
         self._completed = 0
         self._throttle_events = 0
@@ -361,6 +390,7 @@ class ServeSession:
                 self._first_queue_us = now
         else:
             tenant.shed_reason = decision.reason
+            tenant.workload = None  # shed: free the built arrays early
             if self._first_shed_us is None:
                 self._first_shed_us = now
             self._emit(TenantShed(
@@ -370,6 +400,10 @@ class ServeSession:
     def _admit(self, tenant: _Tenant, now: float, queued_us: float) -> None:
         tenant.admitted_us = now
         tenant.queued_us = queued_us
+        # Lazy stream materialization: the wave iterator (and the
+        # workload arrays it closes over) only come alive on admission.
+        tenant.stream = _wave_stream(tenant.workload)
+        tenant.workload = None  # the generator keeps the needed refs
         self._live.append(tenant)
         if self._telemetry is not None:
             self._telemetry.on_admit(tenant.id)
@@ -394,11 +428,20 @@ class ServeSession:
     # -- scheduling ------------------------------------------------------
 
     def _run_round(self, now: float) -> float:
-        """One round-robin pass: each runnable tenant gets a quantum."""
-        for tenant in list(self._live):
-            if tenant.throttle_left > 0:
-                continue
-            now = self._run_quantum(tenant, now)
+        """One scheduler round: execute the plan's groups in order."""
+        for group in self._scheduler.plan_round(list(self._live)):
+            if len(group) == 1:
+                # Singleton groups run the contiguous quantum loop --
+                # the round-robin plan replays the legacy serve path
+                # (and its output) exactly, batched or not.
+                tenant, n = group[0]
+                if (tenant.complete_us is None
+                        and self._scheduler.runnable(tenant)):
+                    now = self._run_quantum(tenant, n, now)
+            elif self._batch:
+                now = self._run_group_batched(group, now)
+            else:
+                now = self._run_group(group, now)
         for tenant in self._live:
             if tenant.throttle_left > 0:
                 tenant.throttle_left -= 1
@@ -412,11 +455,34 @@ class ServeSession:
         self._maybe_throttle(now)
         return now
 
-    def _run_quantum(self, tenant: _Tenant, now: float) -> float:
+    def _observe_wave(self, tenant: _Tenant, outcome, compute_cycles,
+                      now: float) -> float:
+        """Charge one executed wave to the clocks and histograms."""
+        wave_us = (self._timing.wave_total_cycles(outcome, compute_cycles)
+                   / self._clock_mhz)
+        now += wave_us
+        tenant.waves += 1
+        tenant.accesses += outcome.n_accesses
+        tenant.latency.observe(wave_us)
+        self._latency.observe(wave_us)
+        if self._telemetry is not None:
+            self._telemetry.on_wave(tenant.id, now, wave_us,
+                                    outcome.n_accesses)
+        return now
+
+    def _run_quantum(self, tenant: _Tenant, n: int, now: float) -> float:
+        """Run up to ``n`` contiguous waves for one tenant."""
         driver = self._driver
         attribution = driver.attribution
-        wave_cycles = self._timing.wave_cycles
+        # Hoisted out of the wave loop: the timing closure, clock rate,
+        # per-tenant histogram bound method, and telemetry hub were all
+        # attribute lookups per wave in the pre-scheduler loop.
+        process_wave = driver.process_wave
+        stream = tenant.stream
+        wave_cycles = self._timing.wave_total_cycles
         clock_mhz = self._clock_mhz
+        observe_t = tenant.latency.observe
+        observe_all = self._latency.observe
         telemetry = self._telemetry
         tl = self._tl
         attribution.current = tenant.id
@@ -424,20 +490,20 @@ class ServeSession:
             tl.begin(f"quantum t{tenant.id}", tid=TID_SERVE,
                      args={"span": f"t{tenant.id}", "tenant": tenant.id})
         try:
-            for _ in range(self.config.quantum):
-                wave = next(tenant.stream, None)
+            for _ in range(n):
+                wave = next(stream, None)
                 if wave is None:
                     now = self._complete(tenant, now)
                     break
-                outcome = driver.process_wave(wave.pages, wave.is_write,
-                                              wave.counts)
-                wave_us = (wave_cycles(outcome, wave.compute_cycles).total
+                outcome = process_wave(wave.pages, wave.is_write,
+                                       wave.counts)
+                wave_us = (wave_cycles(outcome, wave.compute_cycles)
                            / clock_mhz)
                 now += wave_us
                 tenant.waves += 1
                 tenant.accesses += outcome.n_accesses
-                tenant.latency.observe(wave_us)
-                self._latency.observe(wave_us)
+                observe_t(wave_us)
+                observe_all(wave_us)
                 if telemetry is not None:
                     telemetry.on_wave(tenant.id, now, wave_us,
                                       outcome.n_accesses)
@@ -445,6 +511,75 @@ class ServeSession:
             attribution.current = -1
             if tl is not None:
                 tl.end(f"quantum t{tenant.id}", tid=TID_SERVE)
+        return now
+
+    def _run_group(self, group, now: float) -> float:
+        """Execute a multi-tenant group slot-major, one wave at a time."""
+        maxn = max(n for _, n in group)
+        scheduler = self._scheduler
+        for slot in range(maxn):
+            for tenant, n in group:
+                if (n <= slot or tenant.complete_us is not None
+                        or not scheduler.runnable(tenant)):
+                    continue
+                now = self._run_quantum(tenant, 1, now)
+        return now
+
+    def _run_group_batched(self, group, now: float) -> float:
+        """Execute a multi-tenant group as fused batch dispatches.
+
+        Each wave slot gathers one pending wave per still-running tenant
+        and hands the whole set to
+        :meth:`~repro.uvm.driver.UvmDriver.process_wave_batch` as one
+        driver dispatch; per-wave bookkeeping then replays in the same
+        order sequential execution would have used.  A drained stream
+        flushes the slot's batch *before* the completion runs, because
+        completion mutates global state (releases chunks, drains the
+        admission queue) that later waves in the batch must not see
+        early.  Results are bit-identical to :meth:`_run_group` -- the
+        driver's batch path guarantees it per wave, and the bookkeeping
+        order here matches by construction.
+        """
+        scheduler = self._scheduler
+        maxn = max(n for _, n in group)
+        for slot in range(maxn):
+            batch: list[tuple[_Tenant, object]] = []
+            for tenant, n in group:
+                if (n <= slot or tenant.complete_us is not None
+                        or not scheduler.runnable(tenant)):
+                    continue
+                wave = next(tenant.stream, None)
+                if wave is None:
+                    # Flush first: the completion below must observe
+                    # exactly the post-batch driver state.
+                    now = self._dispatch(batch, now)
+                    batch = []
+                    now = self._complete(tenant, now)
+                    continue
+                batch.append((tenant, wave))
+            now = self._dispatch(batch, now)
+        return now
+
+    def _dispatch(self, batch, now: float) -> float:
+        """Run one gathered slot through the fused driver entry point."""
+        if not batch:
+            return now
+        driver = self._driver
+        tl = self._tl
+        if tl is not None:
+            tl.begin("batch", tid=TID_SERVE,
+                     args={"span": "batch", "waves": len(batch)})
+        outcomes = driver.process_wave_batch(
+            [(w.pages, w.is_write, w.counts) for _, w in batch],
+            tenants=[t.id for t, _ in batch])
+        if tl is not None:
+            tl.end("batch", tid=TID_SERVE)
+        self._batches += 1
+        self._batched_waves += len(batch)
+        for (tenant, wave), outcome in zip(batch, outcomes):
+            tenant.batched_waves += 1
+            now = self._observe_wave(tenant, outcome,
+                                     wave.compute_cycles, now)
         return now
 
     def _maybe_throttle(self, now: float) -> None:
@@ -503,6 +638,7 @@ class ServeSession:
             now += self._pcie.writeback_cycles(writebacks) / self._clock_mhz
         tenant.complete_us = now
         tenant.throttle_left = 0
+        tenant.stream = None  # free the drained generator + workload
         self._live.remove(tenant)
         self._controller.release(tenant.blocks)
         self._completed += 1
@@ -515,6 +651,17 @@ class ServeSession:
             p99_wave_latency_us=tenant.latency.quantile(0.99) or 0.0,
             thrash_migrations=attribution.thrash_of(tenant.id),
             cross_evictions=int(attribution.cross_evictions[tenant.id])))
+        cfg = self.config
+        if cfg.scheduler != "round_robin" or cfg.batch_waves:
+            # Scheduler accounting rides along only off the default
+            # path, keeping the legacy round-robin event stream
+            # byte-identical to the pre-scheduler serving layer.
+            self._emit(TenantSched(
+                tenant=tenant.id, at_us=now,
+                weight=self._scheduler.weight_of(tenant.id),
+                deficit=self._scheduler.deficit_of(tenant.id),
+                waves=tenant.waves,
+                batched_waves=tenant.batched_waves))
         # Freed footprint drains the queue FIFO.
         while self._admit_from_queue(now):
             pass
@@ -529,6 +676,7 @@ class ServeSession:
     def _result(self, now: float) -> ServeResult:
         controller = self._controller
         attribution = self._driver.attribution
+        scheduler = self._scheduler
         records = []
         for t in self._tenants:
             records.append(TenantRecord(
@@ -546,7 +694,10 @@ class ServeSession:
                 cross_evictions=int(attribution.cross_evictions[t.id]),
                 evicted_blocks=int(attribution.evicted_blocks[t.id]),
                 freed_blocks=t.freed_blocks,
-                writeback_blocks=t.writeback_blocks))
+                writeback_blocks=t.writeback_blocks,
+                weight=scheduler.weight_of(t.id),
+                deficit=scheduler.deficit_of(t.id),
+                batched_waves=t.batched_waves))
         total_waves = sum(t.waves for t in self._tenants)
         total_accesses = sum(t.accesses for t in self._tenants)
         shed_rate = controller.sheds / len(self._tenants)
@@ -586,7 +737,11 @@ class ServeSession:
             driver_totals=dataclasses.asdict(self._driver.stats.totals),
             scenario=self.scenario,
             slo_violations=slo_violations,
-            alerts_fired=alerts_fired)
+            alerts_fired=alerts_fired,
+            scheduler=scheduler.name,
+            batches=self._batches,
+            batch_occupancy=(self._batched_waves / self._batches
+                             if self._batches else 0.0))
         obs = self.obs
         if obs is not None and obs.metrics is not None:
             m = obs.metrics
@@ -600,4 +755,8 @@ class ServeSession:
             m.counter("serve.sheds").inc(controller.sheds)
             m.counter("serve.throttle_events").inc(self._throttle_events)
             m.counter("serve.waves").inc(total_waves)
+            if self._batches:
+                m.counter("serve.batches").inc(self._batches)
+                m.gauge("serve.batch_occupancy").set(
+                    self._batched_waves / self._batches)
         return result

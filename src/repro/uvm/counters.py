@@ -87,6 +87,18 @@ class AccessCounterFile:
                                amounts.astype(np.int64, copy=False))
         self._halve_saturated_counts(blocks)
 
+    def add_accesses_unique(self, blocks: np.ndarray,
+                            amounts: np.ndarray) -> None:
+        """:meth:`add_accesses` for *distinct* blocks.
+
+        The fused batch path commits grouped (hence duplicate-free)
+        block sets, where a plain fancy add replaces the duplicate-safe
+        scatter.  Bit-identical to :meth:`add_accesses` on such input.
+        """
+        self._kern.scatter_add_unique(self._counts, blocks,
+                                      amounts.astype(np.int64, copy=False))
+        self._halve_saturated_counts(blocks)
+
     def add_accesses_sharded(self, blocks: np.ndarray, amounts: np.ndarray,
                              splits: list[tuple[int, int]]) -> None:
         """Sharded :meth:`add_accesses` over a sorted, pre-split wave.
@@ -135,6 +147,11 @@ class AccessCounterFile:
                             amounts: np.ndarray) -> None:
         """Accumulate the Volta-style remote-access counters."""
         self._kern.scatter_add(self.volta_counts, blocks, amounts)
+
+    def add_remote_accesses_unique(self, blocks: np.ndarray,
+                                   amounts: np.ndarray) -> None:
+        """:meth:`add_remote_accesses` for *distinct* blocks."""
+        self._kern.scatter_add_unique(self.volta_counts, blocks, amounts)
 
     def reset_volta(self, blocks: np.ndarray) -> None:
         """Reset hardware counters when blocks migrate to the device."""

@@ -93,6 +93,30 @@ class TestTimingModel:
         assert t.compute == pytest.approx(
             1000 * tc.compute_cycles_per_access + tc.wave_overhead_cycles)
 
+    def test_wave_total_cycles_matches_breakdown(self, timing):
+        # The scalar fast path must stay in lockstep with wave_cycles,
+        # including PCIe traffic accounting side effects.
+        outcomes = [
+            WaveOutcome(n_accesses=100, n_local=100),
+            WaveOutcome(n_accesses=50, n_local=20, n_remote=30,
+                        mapping_faults=4),
+            WaveOutcome(n_accesses=10, n_local=9, fault_migrations=1,
+                        migrated_blocks=1, writeback_blocks=2),
+            WaveOutcome(n_accesses=8, n_local=0, n_remote=8,
+                        retried_transfers=2, retry_backoff_us=3.5),
+        ]
+        for out in outcomes:
+            for cc in (None, 123.0):
+                pcie_a = PcieModel(InterconnectConfig(), GpuConfig())
+                pcie_b = PcieModel(InterconnectConfig(), GpuConfig())
+                full = TimingModel(SimulationConfig(), pcie_a)
+                fast = TimingModel(SimulationConfig(), pcie_b)
+                assert (fast.wave_total_cycles(out, cc)
+                        == full.wave_cycles(out, cc).total)
+                assert pcie_b.h2d_bytes == pcie_a.h2d_bytes
+                assert pcie_b.d2h_bytes == pcie_a.d2h_bytes
+                assert pcie_b.remote_bytes == pcie_a.remote_bytes
+
     def test_merge_accumulates(self):
         a = WaveTiming(compute=1, local=2, total=3)
         b = WaveTiming(compute=10, local=20, total=30)
